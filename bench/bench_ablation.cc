@@ -1,0 +1,169 @@
+// Experiment E9: ablations of the design decisions DESIGN.md calls out.
+//
+//  (a) Remove the VCQueue's delayed visibility — let readers snapshot at
+//      the newest ASSIGNED transaction number instead of vtnc — and show
+//      the MVSG checker catching non-serializable (torn) reads.
+//  (b) Plug-compatibility: swap the CC component under an identical
+//      workload; the read-only path's metrics are bit-identical zeros
+//      while the read-write profiles differ per protocol.
+//  (c) Deadlock policy ablation for the 2PL plug-in: wait-die vs
+//      detection-on-insertion.
+
+#include <atomic>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "history/serializability.h"
+#include "txn/database.h"
+#include "workload/report.h"
+#include "workload/runner.h"
+
+namespace {
+
+using namespace mvcc;
+
+// --- (a) naive visibility: sn = newest assigned number, not vtnc. ---
+
+struct NaiveResult {
+  int trials = 0;
+  int torn_reads = 0;       // reader observed a half-installed transaction
+  int mvsg_cycles = 0;      // confirmed non-1SR by the checker
+};
+
+NaiveResult RunNaiveVisibility(bool use_vtnc) {
+  NaiveResult out;
+  DatabaseOptions opts;
+  opts.protocol = ProtocolKind::kVcTo;
+  opts.preload_keys = 2;
+  opts.record_history = true;
+  // Fault injection: widen the window between the two installs of one
+  // commit so the single-CPU scheduler reliably exposes it.
+  opts.install_pause_ns = 20000;
+  Database db(opts);
+
+  std::atomic<bool> stop{false};
+  // Writers update keys 0 and 1 together with the same value.
+  std::thread writer([&] {
+    uint64_t i = 0;
+    while (!stop.load()) {
+      auto txn = db.Begin(TxnClass::kReadWrite);
+      const Value v = std::to_string(++i);
+      if (!txn->Write(0, v).ok()) continue;
+      if (!txn->Write(1, v).ok()) continue;
+      txn->Commit();
+    }
+  });
+
+  History reader_history;
+  TxnId reader_id = 1 << 20;
+  for (int trial = 0; trial < 30000; ++trial) {
+    const TxnNumber sn = use_vtnc
+                             ? db.version_control().vtnc()
+                             : db.version_control().NextNumber() - 1;
+    // Read both keys directly at sn, as a read-only transaction would.
+    auto r0 = db.store().Find(0)->Read(sn);
+    auto r1 = db.store().Find(1)->Read(sn);
+    if (!r0.ok() || !r1.ok()) continue;
+    ++out.trials;
+    if (r0->value != r1->value) ++out.torn_reads;
+    TxnRecord rec;
+    rec.id = reader_id++;
+    rec.cls = TxnClass::kReadOnly;
+    rec.number = sn;
+    rec.reads.push_back(RecordedRead{0, r0->version, r0->writer});
+    rec.reads.push_back(RecordedRead{1, r1->version, r1->writer});
+    reader_history.Record(rec);
+  }
+  stop.store(true);
+  writer.join();
+
+  // Merge writer commits + reader observations; count checker verdicts on
+  // sampled sub-histories (full graph once is enough here).
+  reader_history.Merge(*db.history());
+  auto verdict = CheckOneCopySerializable(reader_history);
+  out.mvsg_cycles = verdict.one_copy_serializable ? 0 : 1;
+  return out;
+}
+
+// --- (b)/(c) helpers ---
+
+RunResult RunUnder(ProtocolKind kind, DeadlockPolicy policy) {
+  DatabaseOptions opts;
+  opts.protocol = kind;
+  opts.preload_keys = 512;
+  opts.deadlock_policy = policy;
+  Database db(opts);
+  WorkloadSpec spec;
+  spec.num_keys = 512;
+  spec.zipf_theta = 0.9;
+  spec.read_only_fraction = 0.4;
+  RunOptions run;
+  run.threads = 8;
+  run.duration_ms = 400;
+  return RunWorkload(&db, spec, run);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E9(a): ablating delayed visibility (VCQueue). Readers\n"
+               "snapshot at the newest ASSIGNED number instead of vtnc.\n\n";
+  NaiveResult naive = RunNaiveVisibility(/*use_vtnc=*/false);
+  NaiveResult proper = RunNaiveVisibility(/*use_vtnc=*/true);
+  Table ablation_a({"visibility rule", "reads", "torn_reads",
+                    "MVSG cycle found"});
+  ablation_a.AddRow({"sn = tnc-1 (ablated)",
+                     Table::Num(uint64_t(naive.trials)),
+                     Table::Num(uint64_t(naive.torn_reads)),
+                     Table::Bool(naive.mvsg_cycles > 0)});
+  ablation_a.AddRow({"sn = vtnc (paper)",
+                     Table::Num(uint64_t(proper.trials)),
+                     Table::Num(uint64_t(proper.torn_reads)),
+                     Table::Bool(proper.mvsg_cycles > 0)});
+  ablation_a.Print(std::cout);
+  std::cout << "\nexpected: the ablated rule produces torn reads / an MVSG\n"
+               "cycle; the paper's rule produces zero torn reads and stays\n"
+               "one-copy serializable.\n\n";
+
+  std::cout << "E9(b): plug-compatibility — identical workload, swapped CC\n"
+               "component. Read-only metrics are structurally zero; only\n"
+               "the read-write profile changes.\n\n";
+  Table ablation_b({"protocol", "commit/s", "rw_abort_rate", "rw_blocks",
+                    "ro_blocks", "ro_aborts", "ro_meta_writes"});
+  for (ProtocolKind kind :
+       {ProtocolKind::kVc2pl, ProtocolKind::kVcTo, ProtocolKind::kVcOcc,
+        ProtocolKind::kVcAdaptive}) {
+    RunResult r = RunUnder(kind, DeadlockPolicy::kWaitDie);
+    ablation_b.AddRow({std::string(ProtocolKindName(kind)),
+                       Table::Num(static_cast<uint64_t>(r.Throughput())),
+                       Table::Num(r.RwAbortRate(), 4),
+                       Table::Num(r.events.rw_blocks),
+                       Table::Num(r.events.ro_blocks),
+                       Table::Num(r.events.ro_aborts),
+                       Table::Num(r.events.ro_metadata_writes)});
+  }
+  ablation_b.Print(std::cout);
+
+  std::cout << "\nE9(c): deadlock policy ablation for the 2PL plug-in.\n\n";
+  Table ablation_c({"policy", "commit/s", "rw_abort_rate",
+                    "deadlock_aborts"});
+  for (auto [name, policy] :
+       {std::pair{"wait-die", DeadlockPolicy::kWaitDie},
+        std::pair{"detect", DeadlockPolicy::kDetect},
+        std::pair{"timeout", DeadlockPolicy::kTimeout}}) {
+    RunResult r = RunUnder(ProtocolKind::kVc2pl, policy);
+    ablation_c.AddRow({name,
+                       Table::Num(static_cast<uint64_t>(r.Throughput())),
+                       Table::Num(r.RwAbortRate(), 4),
+                       Table::Num(r.events.deadlock_aborts)});
+  }
+  ablation_c.Print(std::cout);
+  std::cout << "\nexpected: detection aborts only on real cycles — far fewer\n"
+               "deadlock aborts (and a lower abort rate) than wait-die's\n"
+               "age-based kills — at the cost of more blocking, so its raw\n"
+               "throughput may be lower under heavy skew. The timeout\n"
+               "policy barely aborts but stalls its full budget on every\n"
+               "long conflict: classic low-abort, terrible-latency.\n";
+  return 0;
+}

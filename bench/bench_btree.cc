@@ -1,0 +1,88 @@
+// Microbenchmarks for the ordered-index substrate: the B+ tree behind
+// KeyIndex versus the standard library's red-black tree, for the two
+// operations the database performs (insert-on-create, range
+// enumeration for scans/checkpoints).
+
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "storage/btree.h"
+
+namespace mvcc {
+namespace {
+
+void BM_BtreeInsert(benchmark::State& state) {
+  Random rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    BPlusTree tree;
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      tree.Insert(rng.Uniform(1 << 20));
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BtreeInsert)->Arg(1024)->Arg(16384);
+
+void BM_StdSetInsert(benchmark::State& state) {
+  Random rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::set<ObjectKey> tree;
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      tree.insert(rng.Uniform(1 << 20));
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StdSetInsert)->Arg(1024)->Arg(16384);
+
+void BM_BtreeRange(benchmark::State& state) {
+  BPlusTree tree;
+  for (ObjectKey k = 0; k < 100000; ++k) tree.Insert(k);
+  Random rng(9);
+  const uint64_t span = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    const ObjectKey lo = rng.Uniform(100000 - span);
+    benchmark::DoNotOptimize(tree.Range(lo, lo + span - 1));
+  }
+  state.SetLabel("span=" + std::to_string(span));
+}
+BENCHMARK(BM_BtreeRange)->Arg(64)->Arg(1024);
+
+void BM_StdSetRange(benchmark::State& state) {
+  std::set<ObjectKey> tree;
+  for (ObjectKey k = 0; k < 100000; ++k) tree.insert(k);
+  Random rng(9);
+  const uint64_t span = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    const ObjectKey lo = rng.Uniform(100000 - span);
+    std::vector<ObjectKey> out;
+    for (auto it = tree.lower_bound(lo);
+         it != tree.end() && *it <= lo + span - 1; ++it) {
+      out.push_back(*it);
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel("span=" + std::to_string(span));
+}
+BENCHMARK(BM_StdSetRange)->Arg(64)->Arg(1024);
+
+void BM_BtreeContains(benchmark::State& state) {
+  BPlusTree tree;
+  for (ObjectKey k = 0; k < 100000; k += 2) tree.Insert(k);
+  Random rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Contains(rng.Uniform(100000)));
+  }
+}
+BENCHMARK(BM_BtreeContains);
+
+}  // namespace
+}  // namespace mvcc

@@ -1,0 +1,66 @@
+// Experiment E4: contention sweep (zipfian skew).
+//
+// As skew rises, read-write conflicts intensify. The claims under test
+// (Sections 4, 6): read-only transactions under the VC protocols remain
+// untouched at every contention level (zero blocks/aborts), while MVTO
+// readers start blocking on pending writes and killing writers, and
+// SV-2PL readers collapse into the lock queues.
+
+#include <iostream>
+#include <vector>
+
+#include "txn/database.h"
+#include "workload/report.h"
+#include "workload/runner.h"
+
+int main() {
+  using namespace mvcc;
+
+  const std::vector<ProtocolKind> protocols = {
+      ProtocolKind::kVc2pl,    ProtocolKind::kVcTo,
+      ProtocolKind::kVcOcc,    ProtocolKind::kVcAdaptive,
+      ProtocolKind::kMvto,     ProtocolKind::kMv2plCtl,
+      ProtocolKind::kSv2pl,    ProtocolKind::kWeihlTi};
+  const std::vector<double> thetas = {0.0, 0.4, 0.8, 1.0, 1.2};
+
+  WorkloadSpec spec;
+  spec.num_keys = 1024;
+  spec.read_only_fraction = 0.4;
+  spec.ro_ops = 6;
+  spec.rw_ops = 6;
+  spec.write_fraction = 0.5;
+
+  std::cout << "E4: contention sweep, threads=8, 400ms per cell, keys="
+            << spec.num_keys << ", ro_frac=" << spec.read_only_fraction
+            << "\n\n";
+
+  Table thr({"theta", "protocol", "commit/s", "rw_abort_rate", "ro_blocks",
+             "ro_aborts", "rw_aborts_by_ro"});
+  for (double theta : thetas) {
+    for (ProtocolKind kind : protocols) {
+      DatabaseOptions opts;
+      opts.protocol = kind;
+      opts.preload_keys = spec.num_keys;
+      Database db(opts);
+      WorkloadSpec cell = spec;
+      cell.zipf_theta = theta;
+      RunOptions run;
+      run.threads = 8;
+      run.duration_ms = 400;
+      RunResult result = RunWorkload(&db, cell, run);
+      thr.AddRow({Table::Num(theta, 2),
+                  std::string(ProtocolKindName(kind)),
+                  Table::Num(static_cast<uint64_t>(result.Throughput())),
+                  Table::Num(result.RwAbortRate(), 4),
+                  Table::Num(result.events.ro_blocks),
+                  Table::Num(result.events.ro_aborts),
+                  Table::Num(result.events.rw_aborts_caused_by_ro)});
+    }
+  }
+  thr.Print(std::cout);
+  std::cout << "\nexpected shape: rw_abort_rate rises with theta for all\n"
+               "protocols; ro_blocks/ro_aborts stay exactly 0 for vc-*\n"
+               "at every theta, and grow with theta for mvto / sv-2pl /\n"
+               "weihl-ti.\n";
+  return 0;
+}

@@ -1,0 +1,213 @@
+// Experiment E7: the distributed extension (Section 6 / reference [3]).
+//
+// Claims measured:
+//  * read-only transactions need one start number from their home site,
+//    no a-priori site knowledge, and ZERO two-phase-commit messages —
+//    unlike distributed MVTO (readers write r-ts at every site, so they
+//    would need 2PC) and unlike [8] (global CTL construction up front);
+//  * the merged cross-site history is globally one-copy serializable;
+//  * message cost: a read-only transaction costs only its remote reads;
+//    running the same reader as a pseudo read-write transaction (the
+//    only alternative for currency-critical readers) pays locks + 2PC.
+
+#include <atomic>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "dist/dist_mvto.h"
+#include "dist/distributed_db.h"
+#include "history/serializability.h"
+#include "workload/report.h"
+
+namespace {
+
+using namespace mvcc;
+
+struct DistResult {
+  uint64_t ro_commits = 0;
+  uint64_t rw_commits = 0;
+  uint64_t rw_aborts = 0;
+  double seconds = 0;
+  uint64_t msg_snapshot_read = 0;
+  uint64_t msg_rw = 0;  // remote read/write
+  uint64_t msg_2pc = 0;
+  bool serializable = false;
+  double ro_msgs_per_txn = 0;
+  double rw_msgs_per_txn = 0;
+};
+
+DistResult RunDist(int sites, bool readers_as_pseudo_rw) {
+  DistributedDb::Options opts;
+  opts.num_sites = sites;
+  opts.preload_keys = 64ULL * sites;
+  opts.record_history = true;
+  DistributedDb db(opts);
+
+  constexpr int kThreads = 6;
+  constexpr int kTxnsPerThread = 250;
+  std::vector<std::thread> workers;
+  const int64_t start = NowNanos();
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Random rng(42 + t);
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        const int home = static_cast<int>(rng.Uniform(sites));
+        const bool want_ro = rng.Bernoulli(0.5);
+        if (want_ro && !readers_as_pseudo_rw) {
+          auto reader = db.Begin(TxnClass::kReadOnly, home);
+          for (int op = 0; op < 4; ++op) {
+            (void)reader->Read(rng.Uniform(opts.preload_keys));
+          }
+          reader->Commit();
+        } else if (want_ro) {
+          // Pseudo read-write reader: same reads, full RW machinery.
+          auto reader = db.Begin(TxnClass::kReadWrite, home);
+          bool dead = false;
+          for (int op = 0; op < 4 && !dead; ++op) {
+            auto r = reader->Read(rng.Uniform(opts.preload_keys));
+            dead = !r.ok() && r.status().IsAborted();
+          }
+          if (!dead) reader->Commit();
+        } else {
+          auto writer = db.Begin(TxnClass::kReadWrite, home);
+          bool dead = false;
+          for (int op = 0; op < 3 && !dead; ++op) {
+            dead = !writer->Write(rng.Uniform(opts.preload_keys), "w").ok();
+          }
+          if (!dead) writer->Commit();
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  DistResult out;
+  out.seconds = static_cast<double>(NowNanos() - start) / 1e9;
+  out.ro_commits = db.counters().ro_commits.load();
+  out.rw_commits = db.counters().rw_commits.load();
+  out.rw_aborts = db.counters().rw_aborts.load();
+  out.msg_snapshot_read = db.network().Count(MessageType::kSnapshotRead);
+  out.msg_rw = db.network().Count(MessageType::kRemoteRead) +
+               db.network().Count(MessageType::kRemoteWrite);
+  out.msg_2pc = db.network().Count(MessageType::kPrepare) +
+                db.network().Count(MessageType::kCommit) +
+                db.network().Count(MessageType::kAbort);
+  out.serializable =
+      CheckOneCopySerializable(*db.history()).one_copy_serializable;
+  if (out.ro_commits > 0) {
+    out.ro_msgs_per_txn =
+        static_cast<double>(out.msg_snapshot_read) / out.ro_commits;
+  }
+  if (out.rw_commits > 0) {
+    out.rw_msgs_per_txn =
+        static_cast<double>(out.msg_rw + out.msg_2pc) / out.rw_commits;
+  }
+  return out;
+}
+
+// Same mix against distributed MVTO (Reed's scheme): read-only
+// transactions update r-ts at each site and run 2PC at commit.
+DistResult RunDistMvto(int sites) {
+  DistMvtoDb::Options opts;
+  opts.num_sites = sites;
+  opts.preload_keys = 64ULL * sites;
+  opts.record_history = true;
+  DistMvtoDb db(opts);
+
+  constexpr int kThreads = 6;
+  constexpr int kTxnsPerThread = 250;
+  std::vector<std::thread> workers;
+  const int64_t start = NowNanos();
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Random rng(42 + t);
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        const int home = static_cast<int>(rng.Uniform(sites));
+        if (rng.Bernoulli(0.5)) {
+          auto reader = db.Begin(TxnClass::kReadOnly, home);
+          for (int op = 0; op < 4; ++op) {
+            (void)reader->Read(rng.Uniform(opts.preload_keys));
+          }
+          reader->Commit();
+        } else {
+          auto writer = db.Begin(TxnClass::kReadWrite, home);
+          bool dead = false;
+          for (int op = 0; op < 3 && !dead; ++op) {
+            dead = !writer->Write(rng.Uniform(opts.preload_keys), "w").ok();
+          }
+          if (!dead) writer->Commit();
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  DistResult out;
+  out.seconds = static_cast<double>(NowNanos() - start) / 1e9;
+  out.ro_commits = db.counters().ro_commits.load();
+  out.rw_commits = db.counters().rw_commits.load();
+  out.rw_aborts = db.counters().rw_aborts.load();
+  out.msg_rw = db.network().Count(MessageType::kRemoteRead) +
+               db.network().Count(MessageType::kRemoteWrite);
+  out.msg_2pc = db.network().Count(MessageType::kPrepare) +
+                db.network().Count(MessageType::kCommit) +
+                db.network().Count(MessageType::kAbort);
+  out.serializable =
+      CheckOneCopySerializable(*db.history()).one_copy_serializable;
+  // For MVTO there is no snapshot-read message class: readers pay
+  // ordinary remote reads PLUS their share of 2PC; report the total
+  // message bill attributed per committed read-only transaction as the
+  // 2PC traffic alone (the part the VC scheme does not pay).
+  if (out.ro_commits > 0) {
+    out.ro_msgs_per_txn = static_cast<double>(out.msg_2pc) /
+                          (out.ro_commits + out.rw_commits);
+  }
+  if (out.rw_commits > 0) {
+    out.rw_msgs_per_txn =
+        static_cast<double>(out.msg_rw + out.msg_2pc) / out.rw_commits;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E7: distributed version control — per-site counters, 2PC\n"
+               "number agreement for writers, single start number for\n"
+               "readers. 6 threads x 250 txns, 50% read-only.\n\n";
+
+  Table table({"sites", "readers", "ro_commit", "rw_commit", "ro_msg/txn",
+               "rw_msg/txn", "2pc_msgs", "global_1SR"});
+  for (int sites : {2, 4, 8}) {
+    DistResult vc = RunDist(sites, /*readers_as_pseudo_rw=*/false);
+    table.AddRow({Table::Num(uint64_t(sites)), "snapshot (VC)",
+                  Table::Num(vc.ro_commits), Table::Num(vc.rw_commits),
+                  Table::Num(vc.ro_msgs_per_txn, 2),
+                  Table::Num(vc.rw_msgs_per_txn, 2),
+                  Table::Num(vc.msg_2pc), Table::Bool(vc.serializable)});
+    DistResult pseudo = RunDist(sites, /*readers_as_pseudo_rw=*/true);
+    table.AddRow({Table::Num(uint64_t(sites)), "pseudo read-write",
+                  Table::Num(pseudo.ro_commits),
+                  Table::Num(pseudo.rw_commits),
+                  Table::Num(pseudo.ro_msgs_per_txn, 2),
+                  Table::Num(pseudo.rw_msgs_per_txn, 2),
+                  Table::Num(pseudo.msg_2pc),
+                  Table::Bool(pseudo.serializable)});
+    DistResult mvto = RunDistMvto(sites);
+    table.AddRow({Table::Num(uint64_t(sites)), "distributed MVTO",
+                  Table::Num(mvto.ro_commits), Table::Num(mvto.rw_commits),
+                  Table::Num(mvto.ro_msgs_per_txn, 2),
+                  Table::Num(mvto.rw_msgs_per_txn, 2),
+                  Table::Num(mvto.msg_2pc), Table::Bool(mvto.serializable)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nexpected shape: snapshot readers cost only their remote\n"
+               "reads and no 2PC traffic (global_1SR stays yes); the pseudo\n"
+               "read-write alternative and distributed MVTO (whose r-ts\n"
+               "updates force read-only 2PC, Section 2) pay roughly double\n"
+               "the prepare/commit traffic for the same mix.\n";
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Experiment E2: begin-time and per-read overhead of read-only
+// transactions.
+//
+// The paper claims (Sections 2, 4.2) that under version control a
+// read-only transaction's begin is a single counter read ("almost
+// negligible overhead"), where Chan et al.'s MV2PL must copy the
+// completed transaction list (O(|CTL|)) and Reed's MVTO must draw a
+// ticket from a shared counter and write r-ts metadata on every read.
+// Google-benchmark microbenches; the CTL length is the sweep argument.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/mv2pl_ctl.h"
+#include "baselines/mvto.h"
+#include "txn/database.h"
+
+namespace mvcc {
+namespace {
+
+// --- Version control: RO begin is a lock-free load, independent of the
+// number of concurrently active read-write transactions. ---
+
+void BM_VcReadOnlyBegin(benchmark::State& state) {
+  DatabaseOptions opts;
+  opts.protocol = ProtocolKind::kVc2pl;
+  opts.preload_keys = 16;
+  Database db(opts);
+  // Register `Arg` active transactions to show begin cost is flat.
+  const int active = static_cast<int>(state.range(0));
+  for (int i = 0; i < active; ++i) {
+    db.version_control().Register(static_cast<TxnId>(i) + 1000);
+  }
+  for (auto _ : state) {
+    auto txn = db.Begin(TxnClass::kReadOnly);
+    benchmark::DoNotOptimize(txn->start_number());
+    txn->Commit();
+  }
+  state.SetLabel("active_rw=" + std::to_string(active));
+}
+BENCHMARK(BM_VcReadOnlyBegin)->Arg(0)->Arg(64)->Arg(1024)->Arg(4096);
+
+// --- MV2PL-CTL: RO begin copies the completed transaction list. ---
+
+struct CtlFixture {
+  ObjectStore store;
+  VersionControl vc;
+  EventCounters counters;
+  std::unique_ptr<Mv2plCtl> protocol;
+
+  explicit CtlFixture(int ctl_len) {
+    store.Preload(16, "0");
+    ProtocolEnv env{&store, &vc, &counters};
+    protocol = std::make_unique<Mv2plCtl>(env, DeadlockPolicy::kWaitDie,
+                                          /*truncate_ctl=*/false);
+    for (int i = 0; i < ctl_len; ++i) {
+      TxnState txn;
+      txn.id = i + 1;
+      txn.cls = TxnClass::kReadWrite;
+      protocol->Begin(&txn);
+      protocol->Write(&txn, i % 16, "v");
+      protocol->Commit(&txn);
+    }
+  }
+};
+
+void BM_CtlReadOnlyBegin(benchmark::State& state) {
+  CtlFixture fixture(static_cast<int>(state.range(0)));
+  TxnId next_id = 1 << 20;
+  for (auto _ : state) {
+    TxnState reader;
+    reader.id = next_id++;
+    reader.cls = TxnClass::kReadOnly;
+    fixture.protocol->Begin(&reader);
+    benchmark::DoNotOptimize(reader.sn);
+  }
+  state.SetLabel("ctl_len=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_CtlReadOnlyBegin)->Arg(0)->Arg(64)->Arg(1024)->Arg(4096);
+
+// --- MVTO: RO begin takes a shared-counter ticket. ---
+
+void BM_MvtoReadOnlyBegin(benchmark::State& state) {
+  DatabaseOptions opts;
+  opts.protocol = ProtocolKind::kMvto;
+  opts.preload_keys = 16;
+  Database db(opts);
+  for (auto _ : state) {
+    auto txn = db.Begin(TxnClass::kReadOnly);
+    benchmark::DoNotOptimize(txn->start_number());
+    txn->Commit();
+  }
+}
+BENCHMARK(BM_MvtoReadOnlyBegin);
+
+// --- Per-read cost: VC snapshot read vs MVTO r-ts-updating read vs
+// MV2PL-CTL membership-checking read. ---
+
+void BM_VcReadOnlyRead(benchmark::State& state) {
+  DatabaseOptions opts;
+  opts.protocol = ProtocolKind::kVc2pl;
+  opts.preload_keys = 1024;
+  Database db(opts);
+  auto txn = db.Begin(TxnClass::kReadOnly);
+  ObjectKey key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(txn->Read(key));
+    key = (key + 1) % 1024;
+  }
+}
+BENCHMARK(BM_VcReadOnlyRead);
+
+void BM_MvtoReadOnlyRead(benchmark::State& state) {
+  DatabaseOptions opts;
+  opts.protocol = ProtocolKind::kMvto;
+  opts.preload_keys = 1024;
+  Database db(opts);
+  auto txn = db.Begin(TxnClass::kReadOnly);
+  ObjectKey key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(txn->Read(key));
+    key = (key + 1) % 1024;
+  }
+}
+BENCHMARK(BM_MvtoReadOnlyRead);
+
+void BM_CtlReadOnlyRead(benchmark::State& state) {
+  CtlFixture fixture(static_cast<int>(state.range(0)));
+  TxnState reader;
+  reader.id = 1 << 20;
+  reader.cls = TxnClass::kReadOnly;
+  fixture.protocol->Begin(&reader);
+  ObjectKey key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.protocol->Read(&reader, key));
+    key = (key + 1) % 16;
+  }
+  state.SetLabel("ctl_len=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_CtlReadOnlyRead)->Arg(64)->Arg(4096);
+
+}  // namespace
+}  // namespace mvcc

@@ -1,0 +1,97 @@
+// Experiment E10: recovery from the write-ahead log.
+//
+// The paper's opening motivation: versions exist to support transaction
+// and system recovery. We measure (a) crash-recovery time as a function
+// of log length, (b) the effect of checkpointing on both the log replay
+// cost and the recovered version count, and (c) that the recovered
+// database resumes the serial order (new transactions get larger
+// numbers, readers see the full committed state).
+
+#include <iostream>
+#include <memory>
+
+#include "common/clock.h"
+#include "recovery/recovery.h"
+#include "txn/database.h"
+#include "workload/report.h"
+#include "workload/runner.h"
+
+namespace {
+
+using namespace mvcc;
+
+struct RecoveryCell {
+  uint64_t log_batches = 0;
+  double recover_ms = 0;
+  size_t recovered_versions = 0;
+  bool state_matches = false;
+};
+
+RecoveryCell Measure(uint64_t committed_txns, bool with_checkpoint) {
+  DatabaseOptions opts;
+  opts.protocol = ProtocolKind::kVc2pl;
+  opts.preload_keys = 1024;
+  opts.enable_wal = true;
+  Database db(opts);
+
+  WorkloadSpec spec;
+  spec.num_keys = 1024;
+  spec.read_only_fraction = 0.0;
+  spec.rw_ops = 4;
+  spec.write_fraction = 1.0;
+  RunOptions run;
+  run.threads = 4;
+  run.txns_per_thread = committed_txns / 4;
+  RunWorkload(&db, spec, run);
+
+  Checkpoint checkpoint;
+  if (with_checkpoint) {
+    checkpoint = TakeCheckpoint(&db);
+    db.wal()->Truncate(checkpoint.vtnc);
+  }
+
+  // Expected state: one final full scan.
+  auto pre = db.Begin(TxnClass::kReadOnly);
+  auto expected = pre->Scan(0, 1023);
+  pre->Commit();
+
+  const std::string wal_image = db.wal()->Serialize();
+  auto log = WriteAheadLog::Deserialize(wal_image);
+
+  RecoveryCell cell;
+  cell.log_batches = (*log)->size();
+  const int64_t begin = NowNanos();
+  auto recovered = RecoverDatabase(
+      opts, with_checkpoint ? &checkpoint : nullptr, **log);
+  cell.recover_ms = static_cast<double>(NowNanos() - begin) / 1e6;
+  cell.recovered_versions = recovered->store().TotalVersions();
+
+  auto post = recovered->Begin(TxnClass::kReadOnly);
+  auto actual = post->Scan(0, 1023);
+  post->Commit();
+  cell.state_matches = expected.ok() && actual.ok() && *expected == *actual;
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E10: crash recovery (write-heavy 2PL workload, 1024 keys)\n\n";
+  Table table({"committed_txns", "checkpoint", "log_batches", "recover_ms",
+               "versions_after", "state_matches"});
+  for (uint64_t txns : {1000, 10000, 50000}) {
+    for (bool ck : {false, true}) {
+      RecoveryCell cell = Measure(txns, ck);
+      table.AddRow({Table::Num(txns), Table::Bool(ck),
+                    Table::Num(cell.log_batches),
+                    Table::Num(cell.recover_ms, 2),
+                    Table::Num(uint64_t{cell.recovered_versions}),
+                    Table::Bool(cell.state_matches)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nexpected shape: recovery time grows linearly with the\n"
+               "replayed log; checkpointing collapses both replay time and\n"
+               "the recovered version count; state always matches.\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Experiment E8: thread scalability.
+//
+// Section 4.4: registering at the lock point keeps version control off
+// the critical path, so the modular scheme should scale with worker
+// threads like its underlying CC protocol. Google-benchmark drives the
+// same transaction mix at 1..16 threads for each protocol; committed
+// transactions are reported as items/second.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <mutex>
+
+#include "txn/database.h"
+#include "workload/generator.h"
+
+namespace mvcc {
+namespace {
+
+constexpr uint64_t kKeys = 4096;
+
+class ScalabilityFixture : public benchmark::Fixture {
+ public:
+  // SetUp runs in every thread with a barrier before the benchmark body;
+  // guard the shared construction with a latch-protected check.
+  void SetUp(const benchmark::State& state) override {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (db_ == nullptr) {
+      DatabaseOptions opts;
+      opts.protocol = kind_;
+      opts.preload_keys = kKeys;
+      db_ = std::make_unique<Database>(opts);
+    }
+    (void)state;
+  }
+
+  void TearDown(const benchmark::State& state) override {
+    // Destroy the shared database only when the LAST thread tears down:
+    // threads leave the measurement loop at slightly different times.
+    std::lock_guard<std::mutex> guard(mu_);
+    if (++torn_down_ == state.threads()) {
+      db_.reset();
+      torn_down_ = 0;
+    }
+  }
+
+ protected:
+  void RunMix(benchmark::State& state) {
+    WorkloadSpec spec;
+    spec.num_keys = kKeys;
+    spec.zipf_theta = 0.6;
+    spec.read_only_fraction = 0.5;
+    spec.ro_ops = 6;
+    spec.rw_ops = 6;
+    WorkloadGenerator gen(spec, state.thread_index() + 1);
+
+    int64_t committed = 0;
+    for (auto _ : state) {
+      const TxnPlan plan = gen.Next();
+      auto txn = db_->Begin(plan.cls);
+      bool dead = false;
+      for (const PlannedOp& op : plan.ops) {
+        if (op.is_write) {
+          dead = !txn->Write(op.key, gen.MakeValue(op.key)).ok();
+        } else {
+          auto r = txn->Read(op.key);
+          dead = !r.ok() && r.status().IsAborted();
+        }
+        if (dead) break;
+      }
+      if (!dead && txn->Commit().ok()) ++committed;
+    }
+    // Per-thread items are summed by the framework.
+    state.SetItemsProcessed(committed);
+  }
+
+ protected:
+  // The protocol is fixed by the derived fixture before SetUp runs.
+  ProtocolKind kind_ = ProtocolKind::kVc2pl;
+
+ private:
+  std::mutex mu_;
+  int torn_down_ = 0;
+  std::unique_ptr<Database> db_;
+};
+
+#define MVCC_SCALABILITY_BENCH(name, kind)                        \
+  class name##Fixture : public ScalabilityFixture {               \
+   public:                                                        \
+    name##Fixture() { kind_ = kind; }                             \
+  };                                                              \
+  BENCHMARK_DEFINE_F(name##Fixture, name)                         \
+  (benchmark::State & state) { RunMix(state); }                   \
+  BENCHMARK_REGISTER_F(name##Fixture, name)                       \
+      ->ThreadRange(1, 16)                                        \
+      ->UseRealTime()
+
+MVCC_SCALABILITY_BENCH(Vc2pl, ProtocolKind::kVc2pl);
+MVCC_SCALABILITY_BENCH(VcTo, ProtocolKind::kVcTo);
+MVCC_SCALABILITY_BENCH(VcOcc, ProtocolKind::kVcOcc);
+MVCC_SCALABILITY_BENCH(Mvto, ProtocolKind::kMvto);
+MVCC_SCALABILITY_BENCH(Sv2pl, ProtocolKind::kSv2pl);
+
+#undef MVCC_SCALABILITY_BENCH
+
+}  // namespace
+}  // namespace mvcc

@@ -1,0 +1,116 @@
+// Adaptive concurrency control: the modularity payoff.
+//
+// Section 1 of the paper claims the version-control / concurrency-control
+// split enables "experimentation ... in areas such as ... adaptive
+// concurrency control schemes without introducing major modifications".
+// This example drives a workload whose contention changes in phases and
+// watches the vc-adaptive plug-in flip between optimistic and locking
+// execution — while a read-only monitor keeps running, oblivious, with
+// zero blocks and zero aborts throughout.
+
+#include <atomic>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "cc/adaptive.h"
+#include "common/random.h"
+#include "txn/database.h"
+
+namespace {
+
+using namespace mvcc;
+
+const char* ModeName(Adaptive::Mode mode) {
+  return mode == Adaptive::Mode::kOptimistic ? "optimistic" : "locking";
+}
+
+}  // namespace
+
+int main() {
+  DatabaseOptions options;
+  options.protocol = ProtocolKind::kVcAdaptive;
+  options.preload_keys = 4096;
+  options.initial_value = "0";
+  Database db(options);
+  auto* adaptive = dynamic_cast<Adaptive*>(&db.protocol());
+
+  // Phases alternate between a huge key range (no conflicts — OCC
+  // heaven) and a tiny hot set (conflict storm — OCC collapses, 2PL
+  // wins).
+  struct Phase {
+    const char* label;
+    uint64_t key_range;
+    int duration_ms;
+  };
+  const std::vector<Phase> phases = {
+      {"cold: uniform over 4096 keys", 4096, 300},
+      {"hot: 8-key conflict storm", 8, 300},
+      {"cold again", 4096, 300},
+  };
+
+  std::atomic<uint64_t> key_range{4096};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 6; ++t) {
+    writers.emplace_back([&, t] {
+      Random rng(10 + t);
+      while (!stop.load()) {
+        auto txn = db.Begin(TxnClass::kReadWrite);
+        const uint64_t range = key_range.load();
+        bool dead = false;
+        for (int op = 0; op < 4 && !dead; ++op) {
+          const ObjectKey key = rng.Uniform(range);
+          if (rng.Bernoulli(0.5)) {
+            dead = !txn->Write(key, std::to_string(t)).ok();
+          } else {
+            auto r = txn->Read(key);
+            dead = !r.ok() && r.status().IsAborted();
+          }
+        }
+        if (!dead) txn->Commit();
+      }
+    });
+  }
+
+  // The oblivious read-only monitor.
+  std::atomic<uint64_t> monitor_reads{0};
+  std::thread monitor([&] {
+    Random rng(99);
+    while (!stop.load()) {
+      auto reader = db.Begin(TxnClass::kReadOnly);
+      for (int i = 0; i < 16; ++i) {
+        if (reader->Read(rng.Uniform(4096)).ok()) {
+          monitor_reads.fetch_add(1);
+        }
+      }
+      reader->Commit();
+    }
+  });
+
+  for (const Phase& phase : phases) {
+    key_range.store(phase.key_range);
+    const auto before = db.counters().Snap();
+    const uint64_t switches_before = adaptive->switches();
+    std::this_thread::sleep_for(std::chrono::milliseconds(phase.duration_ms));
+    const auto after = db.counters().Snap();
+    std::cout << phase.label << ":\n"
+              << "  mode now: " << ModeName(adaptive->mode())
+              << "  (switches this phase: "
+              << adaptive->switches() - switches_before << ")\n"
+              << "  rw commits: " << after.rw_commits - before.rw_commits
+              << "  rw aborts: " << after.rw_aborts - before.rw_aborts
+              << "\n";
+  }
+
+  stop.store(true);
+  for (auto& w : writers) w.join();
+  monitor.join();
+
+  std::cout << "\nread-only monitor: " << monitor_reads.load()
+            << " reads, blocks=" << db.counters().ro_blocks.load()
+            << " aborts=" << db.counters().ro_aborts.load()
+            << " (the monitor never noticed the CC engine changing)\n";
+  return 0;
+}

@@ -1,0 +1,237 @@
+// mvcc_shell: a tiny interactive (or scriptable) shell over the library.
+//
+//   $ build/examples/mvcc_shell [protocol]
+//   mvcc> begin rw
+//   t1
+//   mvcc> write t1 7 hello
+//   OK
+//   mvcc> commit t1
+//   OK tn=1
+//   mvcc> begin ro
+//   t2
+//   mvcc> read t2 7
+//   hello
+//
+// Protocols: vc-2pl (default), vc-to, vc-occ, vc-adaptive, mvto,
+// mv2pl-ctl, sv-2pl, weihl-ti. Pipe a script through stdin for
+// repeatable demos: `printf 'put 1 x\nget 1\nquit\n' | mvcc_shell vc-to`.
+
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "txn/database.h"
+
+namespace {
+
+using namespace mvcc;
+
+std::optional<ProtocolKind> ParseProtocol(const std::string& name) {
+  static const std::map<std::string, ProtocolKind> kKinds = {
+      {"vc-2pl", ProtocolKind::kVc2pl},
+      {"vc-to", ProtocolKind::kVcTo},
+      {"vc-occ", ProtocolKind::kVcOcc},
+      {"vc-adaptive", ProtocolKind::kVcAdaptive},
+      {"mvto", ProtocolKind::kMvto},
+      {"mv2pl-ctl", ProtocolKind::kMv2plCtl},
+      {"sv-2pl", ProtocolKind::kSv2pl},
+      {"weihl-ti", ProtocolKind::kWeihlTi},
+  };
+  auto it = kKinds.find(name);
+  if (it == kKinds.end()) return std::nullopt;
+  return it->second;
+}
+
+void PrintHelp() {
+  std::cout <<
+      "commands:\n"
+      "  begin ro|rw            start a transaction, prints its handle\n"
+      "  read <t> <key>         read inside transaction <t>\n"
+      "  write <t> <key> <val>  buffer a write inside <t>\n"
+      "  scan <t> <lo> <hi>     snapshot range scan (read-only txns)\n"
+      "  commit <t>             commit <t>\n"
+      "  abort <t>              abort <t>\n"
+      "  get <key>              one-shot read-only read\n"
+      "  put <key> <val>        one-shot read-write write\n"
+      "  stats                  event counters\n"
+      "  vtnc                   version control counters\n"
+      "  gc                     run one garbage collection pass\n"
+      "  help / quit\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ProtocolKind kind = ProtocolKind::kVc2pl;
+  if (argc > 1) {
+    auto parsed = ParseProtocol(argv[1]);
+    if (!parsed) {
+      std::cerr << "unknown protocol '" << argv[1] << "'\n";
+      return 1;
+    }
+    kind = *parsed;
+  }
+  DatabaseOptions options;
+  options.protocol = kind;
+  options.preload_keys = 16;
+  options.initial_value = "0";
+  options.enable_gc = true;
+  Database db(options);
+  std::cout << "mvcc-modular shell, protocol=" << ProtocolKindName(kind)
+            << ", 16 keys preloaded to \"0\". Type 'help'.\n";
+
+  std::map<std::string, std::unique_ptr<Transaction>> txns;
+  uint64_t next_handle = 1;
+  std::string line;
+  while (true) {
+    std::cout << "mvcc> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd)) continue;
+
+    auto need_txn = [&](const std::string& handle) -> Transaction* {
+      auto it = txns.find(handle);
+      if (it == txns.end()) {
+        std::cout << "no such transaction '" << handle << "'\n";
+        return nullptr;
+      }
+      return it->second.get();
+    };
+
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      PrintHelp();
+    } else if (cmd == "begin") {
+      std::string cls;
+      in >> cls;
+      if (cls != "ro" && cls != "rw") {
+        std::cout << "usage: begin ro|rw\n";
+        continue;
+      }
+      const std::string handle = "t" + std::to_string(next_handle++);
+      txns[handle] = db.Begin(cls == "ro" ? TxnClass::kReadOnly
+                                          : TxnClass::kReadWrite);
+      std::cout << handle << "\n";
+    } else if (cmd == "read") {
+      std::string handle;
+      ObjectKey key;
+      if (!(in >> handle >> key)) {
+        std::cout << "usage: read <t> <key>\n";
+        continue;
+      }
+      Transaction* txn = need_txn(handle);
+      if (txn == nullptr) continue;
+      auto value = txn->Read(key);
+      if (value.ok()) {
+        std::cout << *value << "\n";
+      } else {
+        std::cout << value.status() << "\n";
+        if (!txn->active()) {
+          std::cout << handle << " aborted\n";
+          txns.erase(handle);
+        }
+      }
+    } else if (cmd == "write") {
+      std::string handle, value;
+      ObjectKey key;
+      if (!(in >> handle >> key >> value)) {
+        std::cout << "usage: write <t> <key> <value>\n";
+        continue;
+      }
+      Transaction* txn = need_txn(handle);
+      if (txn == nullptr) continue;
+      Status s = txn->Write(key, value);
+      std::cout << s << "\n";
+      if (!txn->active()) {
+        std::cout << handle << " aborted\n";
+        txns.erase(handle);
+      }
+    } else if (cmd == "scan") {
+      std::string handle;
+      ObjectKey lo, hi;
+      if (!(in >> handle >> lo >> hi)) {
+        std::cout << "usage: scan <t> <lo> <hi>\n";
+        continue;
+      }
+      Transaction* txn = need_txn(handle);
+      if (txn == nullptr) continue;
+      auto rows = txn->Scan(lo, hi);
+      if (!rows.ok()) {
+        std::cout << rows.status() << "\n";
+        continue;
+      }
+      for (const auto& [key, value] : *rows) {
+        std::cout << "  " << key << " -> " << value << "\n";
+      }
+      std::cout << rows->size() << " rows\n";
+    } else if (cmd == "commit") {
+      std::string handle;
+      if (!(in >> handle)) {
+        std::cout << "usage: commit <t>\n";
+        continue;
+      }
+      Transaction* txn = need_txn(handle);
+      if (txn == nullptr) continue;
+      Status s = txn->Commit();
+      if (s.ok()) {
+        std::cout << "OK tn=" << txn->txn_number() << "\n";
+      } else {
+        std::cout << s << "\n";
+      }
+      txns.erase(handle);
+    } else if (cmd == "abort") {
+      std::string handle;
+      if (!(in >> handle)) {
+        std::cout << "usage: abort <t>\n";
+        continue;
+      }
+      Transaction* txn = need_txn(handle);
+      if (txn == nullptr) continue;
+      txn->Abort();
+      txns.erase(handle);
+      std::cout << "OK\n";
+    } else if (cmd == "get") {
+      ObjectKey key;
+      if (!(in >> key)) {
+        std::cout << "usage: get <key>\n";
+        continue;
+      }
+      auto value = db.Get(key);
+      std::cout << (value.ok() ? *value : value.status().ToString())
+                << "\n";
+    } else if (cmd == "put") {
+      ObjectKey key;
+      std::string value;
+      if (!(in >> key >> value)) {
+        std::cout << "usage: put <key> <value>\n";
+        continue;
+      }
+      std::cout << db.Put(key, value) << "\n";
+    } else if (cmd == "stats") {
+      const auto snap = db.counters().Snap();
+      std::cout << "ro_commits=" << snap.ro_commits
+                << " rw_commits=" << snap.rw_commits
+                << " ro_aborts=" << snap.ro_aborts
+                << " rw_aborts=" << snap.rw_aborts
+                << " ro_blocks=" << snap.ro_blocks
+                << " rw_blocks=" << snap.rw_blocks << "\n"
+                << "ro_metadata_writes=" << snap.ro_metadata_writes
+                << " ctl_copied=" << snap.ctl_entries_copied
+                << " deadlock_aborts=" << snap.deadlock_aborts << "\n";
+    } else if (cmd == "vtnc") {
+      std::cout << "vtnc=" << db.version_control().vtnc()
+                << " next_tn=" << db.version_control().NextNumber()
+                << " queue=" << db.version_control().QueueSize()
+                << " versions=" << db.store().TotalVersions() << "\n";
+    } else if (cmd == "gc") {
+      std::cout << "reclaimed " << db.gc()->RunOnce() << " versions\n";
+    } else {
+      std::cout << "unknown command '" << cmd << "' (try 'help')\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,131 @@
+// A guided tour of the paper's four figures against the live library.
+// Run it and read along with CUCS-426-89.
+
+#include <iostream>
+
+#include "txn/database.h"
+#include "vc/version_control.h"
+
+namespace {
+
+using namespace mvcc;
+
+void Banner(const char* text) {
+  std::cout << "\n=== " << text << " ===\n";
+}
+
+void ShowCounters(VersionControl& vc) {
+  std::cout << "    [vc] tnc=" << vc.NextNumber() << " vtnc=" << vc.vtnc()
+            << " |VCQueue|=" << vc.QueueSize() << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Modular Synchronization in Multiversion Databases —\n"
+               "the four figures, executed.\n";
+
+  // -------------------------------------------------------------------
+  Banner("Figure 1: the VersionControl module");
+  {
+    VersionControl vc;
+    std::cout << "  Three read-write transactions register (VCregister):\n";
+    const TxnNumber t1 = vc.Register(101);
+    const TxnNumber t2 = vc.Register(102);
+    const TxnNumber t3 = vc.Register(103);
+    std::cout << "    tn(T1)=" << t1 << " tn(T2)=" << t2 << " tn(T3)=" << t3
+              << "\n";
+    ShowCounters(vc);
+    std::cout << "  T3 and T2 complete OUT of serial order (VCcomplete):\n";
+    vc.Complete(t3);
+    vc.Complete(t2);
+    ShowCounters(vc);
+    std::cout << "    vtnc stayed at 0: T1 (older) is still active, so\n"
+              << "    T2/T3's updates must not become visible yet.\n";
+    std::cout << "  T1 completes:\n";
+    vc.Complete(t1);
+    ShowCounters(vc);
+    std::cout << "    the whole prefix closed; vtnc jumped straight to "
+              << vc.vtnc() << ".\n";
+  }
+
+  // -------------------------------------------------------------------
+  Banner("Figure 2: read-only transactions (any protocol — here: 2PL)");
+  DatabaseOptions options;
+  options.protocol = ProtocolKind::kVc2pl;
+  options.preload_keys = 4;
+  options.initial_value = "v0";
+  Database db(options);
+  {
+    auto reader = db.Begin(TxnClass::kReadOnly);
+    std::cout << "  begin(T): sn(T) <- VCstart() = "
+              << reader->start_number() << "\n";
+    std::cout << "  read(x):  largest version <= sn -> \""
+              << *reader->Read(0) << "\"\n";
+    db.Put(0, "v1");  // a concurrent commit
+    std::cout << "  a writer commits \"v1\" meanwhile; re-read(x) -> \""
+              << *reader->Read(0) << "\" (snapshot is immovable)\n";
+    reader->Commit();
+    std::cout << "  end(T): phi — nothing to do, nothing was touched.\n";
+  }
+
+  // -------------------------------------------------------------------
+  Banner("Figure 4: read-write transactions under 2PL");
+  {
+    auto txn = db.Begin(TxnClass::kReadWrite);
+    std::cout << "  begin(T): sn = infinity (reads the latest version)\n";
+    std::cout << "  read(x) takes a shared lock -> \"" << *txn->Read(0)
+              << "\"\n";
+    txn->Write(1, "y-from-2pl");
+    std::cout << "  write(y) takes an exclusive lock; the new version is\n"
+              << "  buffered with version 'phi' until the lock point.\n";
+    ShowCounters(db.version_control());
+    txn->Commit();
+    std::cout << "  end(T): VCregister at the lock point -> tn(T)="
+              << txn->txn_number()
+              << "; install versions numbered tn(T); clear locks;\n"
+              << "  VCcomplete.\n";
+    ShowCounters(db.version_control());
+  }
+
+  // -------------------------------------------------------------------
+  Banner("Figure 3: read-write transactions under timestamp ordering");
+  DatabaseOptions to_options;
+  to_options.protocol = ProtocolKind::kVcTo;
+  to_options.preload_keys = 4;
+  to_options.initial_value = "v0";
+  Database to_db(to_options);
+  {
+    auto older = to_db.Begin(TxnClass::kReadWrite);
+    auto younger = to_db.Begin(TxnClass::kReadWrite);
+    std::cout << "  begin registers immediately: tn(older)="
+              << older->txn_number()
+              << ", tn(younger)=" << younger->txn_number() << "\n";
+    std::cout << "  younger reads x -> \"" << *younger->Read(0)
+              << "\" (r-ts(x) is now " << younger->txn_number() << ")\n";
+    Status s = older->Write(0, "too-late");
+    std::cout << "  older tries to write x: " << s
+              << "  <- r-ts(x) > tn(T), Figure 3's rejection rule\n";
+    younger->Write(1, "y-from-to");
+    younger->Commit();
+    std::cout << "  younger commits; visibility waited for nobody older.\n";
+    ShowCounters(to_db.version_control());
+  }
+
+  // -------------------------------------------------------------------
+  Banner("Section 6: the currency fix");
+  {
+    auto writer = db.Begin(TxnClass::kReadWrite);
+    writer->Write(2, "must-be-seen");
+    writer->Commit();
+    auto fresh = db.BeginReadOnlyAtLeast(writer->txn_number());
+    std::cout << "  BeginReadOnlyAtLeast(tn=" << writer->txn_number()
+              << ") -> sn=" << fresh->start_number() << ", read(z) -> \""
+              << *fresh->Read(2) << "\"\n";
+    fresh->Commit();
+  }
+
+  std::cout << "\nDone. The same Database API ran Figures 2-4; only the\n"
+               "protocol enum changed — that is the paper's point.\n";
+  return 0;
+}

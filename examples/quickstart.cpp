@@ -1,0 +1,66 @@
+// Quickstart: the public API in two minutes.
+//
+// Build a database with the paper's version control + two-phase locking,
+// run a read-write transaction, and observe that a read-only transaction
+// gets a stable snapshot with zero synchronization.
+
+#include <cassert>
+#include <iostream>
+
+#include "txn/database.h"
+
+int main() {
+  using namespace mvcc;
+
+  // 1. Pick a protocol. The version control module is the same for all
+  //    of them; only the read-write synchronization differs.
+  DatabaseOptions options;
+  options.protocol = ProtocolKind::kVc2pl;   // Figure 4 of the paper
+  options.preload_keys = 10;                 // keys 0..9, initial value:
+  options.initial_value = "0";
+  Database db(options);
+
+  // 2. A read-write transaction: reads lock, writes buffer, commit
+  //    registers with version control at the lock point and installs
+  //    versions stamped with the transaction number.
+  auto writer = db.Begin(TxnClass::kReadWrite);
+  std::cout << "writer reads key 3 -> " << *writer->Read(3) << "\n";
+  writer->Write(3, "hello");
+  writer->Write(4, "world");
+  Status commit = writer->Commit();
+  std::cout << "writer commit: " << commit
+            << ", tn(T) = " << writer->txn_number() << "\n";
+
+  // 3. A read-only transaction: one call to VCstart, then pure
+  //    version-chain reads. It can never block, abort, or disturb any
+  //    read-write transaction.
+  auto reader = db.Begin(TxnClass::kReadOnly);
+  std::cout << "reader snapshot sn = " << reader->start_number() << "\n";
+  std::cout << "reader sees key 3 -> " << *reader->Read(3)
+            << ", key 4 -> " << *reader->Read(4) << "\n";
+  reader->Commit();
+
+  // 4. The snapshot is stable: later commits do not leak in.
+  auto old_reader = db.Begin(TxnClass::kReadOnly);
+  db.Put(3, "changed");
+  assert(*old_reader->Read(3) == "hello");
+  std::cout << "old reader still sees key 3 -> " << *old_reader->Read(3)
+            << " (a new commit changed it to 'changed')\n";
+  old_reader->Commit();
+
+  // 5. Need the newest state? Either insist on a specific transaction
+  //    (the Section 6 currency fix)...
+  auto current = db.BeginReadOnlyAtLeast(db.version_control().vtnc());
+  std::cout << "currency-fixed reader sees key 3 -> " << *current->Read(3)
+            << "\n";
+  current->Commit();
+
+  // 6. ...or swap the whole concurrency control plug-in without touching
+  //    any of the code above:
+  DatabaseOptions to_options = options;
+  to_options.protocol = ProtocolKind::kVcTo;  // Figure 3 of the paper
+  Database to_db(to_options);
+  to_db.Put(0, "timestamp ordered");
+  std::cout << "same API under vc-to: key 0 -> " << *to_db.Get(0) << "\n";
+  return 0;
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Runs every experiment binary, writing aligned-text results to
+# results/ (and CSV alongside when --csv is given).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD=${BUILD:-build}
+OUT=results
+mkdir -p "$OUT"
+CSV=0
+[[ "${1:-}" == "--csv" ]] && CSV=1
+
+for bench in "$BUILD"/bench/bench_*; do
+  [[ -x "$bench" ]] || continue
+  name=$(basename "$bench")
+  echo "== $name"
+  "$bench" | tee "$OUT/$name.txt"
+  if [[ "$CSV" == 1 ]]; then
+    MVCC_BENCH_CSV=1 "$bench" > "$OUT/$name.csv" || true
+  fi
+done
+echo "results written to $OUT/"

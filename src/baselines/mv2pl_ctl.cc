@@ -1,0 +1,107 @@
+#include "baselines/mv2pl_ctl.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace mvcc {
+
+Mv2plCtl::Mv2plCtl(ProtocolEnv env, DeadlockPolicy policy, bool truncate_ctl)
+    : env_(env), locks_(policy, env.counters), truncate_ctl_(truncate_ctl) {}
+
+Status Mv2plCtl::Begin(TxnState* txn) {
+  if (txn->is_read_only()) {
+    auto data = std::make_unique<RoData>();
+    {
+      std::lock_guard<std::mutex> guard(ctl_mu_);
+      data->start_ts = commit_counter_.load(std::memory_order_relaxed);
+      data->watermark = watermark_;
+      data->ctl_copy.assign(ctl_.begin(), ctl_.end());
+    }
+    if (env_.counters != nullptr) {
+      env_.counters->ctl_entries_copied.fetch_add(
+          data->ctl_copy.size(), std::memory_order_relaxed);
+    }
+    txn->sn = data->start_ts;
+    txn->cc_data = std::move(data);
+  } else {
+    txn->sn = kInfiniteTxnNumber;
+  }
+  return Status::OK();
+}
+
+Result<VersionRead> Mv2plCtl::Read(TxnState* txn, ObjectKey key) {
+  VersionChain* chain = env_.store->Find(key);
+  if (txn->is_read_only()) {
+    if (chain == nullptr) {
+      return Status::NotFound("key " + std::to_string(key));
+    }
+    // Largest version <= start_ts whose creator is in the CTL copy.
+    const auto* data = static_cast<const RoData*>(txn->cc_data.get());
+    return chain->ReadIf(data->start_ts, [data](VersionNumber v) {
+      return v == 0 || data->InCtl(v);  // version 0 = initial load
+    });
+  }
+  auto own = txn->write_set.find(key);
+  if (own != txn->write_set.end()) {
+    return VersionRead{kPendingVersion, txn->id, own->second};
+  }
+  Status s = locks_.Acquire(txn->id, key, LockMode::kShared);
+  if (!s.ok()) return s;
+  if (chain == nullptr) {
+    return Status::NotFound("key " + std::to_string(key));
+  }
+  return chain->ReadLatest();
+}
+
+Status Mv2plCtl::Write(TxnState* txn, ObjectKey key, Value value) {
+  if (txn->is_read_only()) {
+    return Status::InvalidArgument("write on read-only transaction");
+  }
+  Status s = locks_.Acquire(txn->id, key, LockMode::kExclusive);
+  if (!s.ok()) return s;
+  txn->BufferWrite(key, std::move(value));
+  return Status::OK();
+}
+
+Status Mv2plCtl::Commit(TxnState* txn) {
+  if (txn->is_read_only()) return Status::OK();
+  // Commit timestamp fixes the serial position (the lock point is behind
+  // us: all locks are held).
+  const TxnNumber ts =
+      commit_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  txn->tn = ts;
+  txn->registered = true;
+  for (ObjectKey key : txn->write_order) {
+    env_.store->GetOrCreate(key)->Install(
+        Version{ts, txn->write_set[key], txn->id});
+  }
+  {
+    // Join the completed transaction list only after every version is
+    // installed; readers treat absence from the CTL as "not yet visible".
+    std::lock_guard<std::mutex> guard(ctl_mu_);
+    auto pos = std::lower_bound(ctl_.begin(), ctl_.end(), ts);
+    ctl_.insert(pos, ts);
+    if (truncate_ctl_) {
+      while (!ctl_.empty() && ctl_.front() == watermark_ + 1) {
+        watermark_ = ctl_.front();
+        ctl_.pop_front();
+      }
+    }
+  }
+  // Strictness: locks are released only after the commit is fully
+  // effective (installed and listed).
+  locks_.ReleaseAll(txn->id);
+  return Status::OK();
+}
+
+void Mv2plCtl::Abort(TxnState* txn) {
+  if (!txn->is_read_only()) locks_.ReleaseAll(txn->id);
+}
+
+size_t Mv2plCtl::CtlSize() const {
+  std::lock_guard<std::mutex> guard(ctl_mu_);
+  return ctl_.size();
+}
+
+}  // namespace mvcc

@@ -1,0 +1,71 @@
+#ifndef MVCC_BASELINES_MV2PL_CTL_H_
+#define MVCC_BASELINES_MV2PL_CTL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "cc/lock_manager.h"
+#include "cc/protocol.h"
+
+namespace mvcc {
+
+// Chan et al.'s multiversion two-phase locking [7] — the CS-list baseline
+// of Section 2:
+//
+//  * Read-write transactions run strict 2PL on the latest version; at
+//    commit they draw a commit timestamp, install their versions, and are
+//    appended to the global COMPLETED TRANSACTION LIST (CTL).
+//  * A read-only transaction at begin records a start timestamp and COPIES
+//    the CTL (cost proportional to |CTL|, counted in
+//    EventCounters::ctl_entries_copied).
+//  * Each read finds the largest version <= the start timestamp whose
+//    CREATOR APPEARS IN THE CTL COPY — the per-read membership check the
+//    paper calls "cumbersome and complex to deal with".
+//
+// The CTL is truncated behind a watermark below which every timestamp is
+// known committed; `truncate_ctl=false` keeps the full list to expose the
+// copy cost (experiment E2).
+class Mv2plCtl : public Protocol {
+ public:
+  Mv2plCtl(ProtocolEnv env, DeadlockPolicy policy, bool truncate_ctl = true);
+
+  std::string_view name() const override { return "mv2pl-ctl"; }
+  bool ReadOnlyBypass() const override { return false; }
+
+  Status Begin(TxnState* txn) override;
+  Result<VersionRead> Read(TxnState* txn, ObjectKey key) override;
+  Status Write(TxnState* txn, ObjectKey key, Value value) override;
+  Status Commit(TxnState* txn) override;
+  void Abort(TxnState* txn) override;
+
+  size_t CtlSize() const;
+
+ private:
+  struct RoData : ProtocolTxnData {
+    TxnNumber start_ts = 0;
+    TxnNumber watermark = 0;          // every ts <= watermark is committed
+    std::vector<TxnNumber> ctl_copy;  // sorted
+
+    bool InCtl(TxnNumber ts) const {
+      return ts <= watermark ||
+             std::binary_search(ctl_copy.begin(), ctl_copy.end(), ts);
+    }
+  };
+
+  ProtocolEnv env_;
+  LockManager locks_;
+  const bool truncate_ctl_;
+  std::atomic<TxnNumber> commit_counter_{0};
+
+  mutable std::mutex ctl_mu_;
+  std::deque<TxnNumber> ctl_;   // sorted ascending
+  TxnNumber watermark_ = 0;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_BASELINES_MV2PL_CTL_H_

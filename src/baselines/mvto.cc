@@ -1,0 +1,162 @@
+#include "baselines/mvto.h"
+
+#include <string>
+#include <utility>
+
+namespace mvcc {
+
+Mvto::Mvto(ProtocolEnv env, size_t num_shards)
+    : env_(env), shards_(num_shards == 0 ? 1 : num_shards) {}
+
+Status Mvto::Begin(TxnState* txn) {
+  // Every transaction — read-only included — draws a unique timestamp.
+  txn->tn = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  txn->sn = txn->tn;
+  txn->registered = true;
+  return Status::OK();
+}
+
+void Mvto::SeedLocked(ObjectKey key, KeyState* st) {
+  if (st->seeded) return;
+  st->seeded = true;
+  VersionChain* chain = env_.store->Find(key);
+  if (chain == nullptr) return;
+  Result<VersionRead> initial = chain->ReadLatest();
+  if (initial.ok()) {
+    VersionMeta meta;
+    meta.committed = true;
+    st->versions.emplace(initial->version, std::move(meta));
+  }
+}
+
+Result<VersionRead> Mvto::Read(TxnState* txn, ObjectKey key) {
+  auto own = txn->write_set.find(key);
+  if (own != txn->write_set.end()) {
+    return VersionRead{txn->tn, txn->id, own->second};
+  }
+  VersionChain* chain = env_.store->Find(key);
+  if (chain == nullptr) {
+    return Status::NotFound("key " + std::to_string(key));
+  }
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  KeyState& st = shard.table[key];
+  SeedLocked(key, &st);
+
+  bool counted_block = false;
+  while (true) {
+    // Version with the largest w-ts <= ts(T).
+    auto it = st.versions.upper_bound(txn->tn);
+    if (it == st.versions.begin()) {
+      return Status::NotFound("key " + std::to_string(key) +
+                              " has no version <= " +
+                              std::to_string(txn->tn));
+    }
+    --it;
+    VersionMeta& meta = it->second;
+    // Record ts(T) as a reader of this version — even while waiting, so a
+    // concurrent older writer cannot slip a version underneath us.
+    if (txn->tn > meta.rts) {
+      meta.rts = txn->tn;
+      meta.rts_by_ro = txn->is_read_only();
+      if (env_.counters != nullptr && txn->is_read_only()) {
+        env_.counters->ro_metadata_writes.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    }
+    if (meta.committed) {
+      // The committed value lives in the shared chain; Read(w-ts) returns
+      // exactly this version.
+      return chain->Read(it->first);
+    }
+    // Pending write: the read is blocked until the writer resolves.
+    if (!counted_block && env_.counters != nullptr) {
+      counted_block = true;
+      auto& counter =
+          txn->is_read_only() ? env_.counters->ro_blocks
+                              : env_.counters->rw_blocks;
+      counter.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.cv.wait(lock);
+  }
+}
+
+Status Mvto::Write(TxnState* txn, ObjectKey key, Value value) {
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  KeyState& st = shard.table[key];
+  SeedLocked(key, &st);
+
+  // Re-write by the same transaction: update its pending version.
+  auto own = st.versions.find(txn->tn);
+  if (own != st.versions.end() && !own->second.committed) {
+    own->second.pending_value = value;
+    txn->BufferWrite(key, std::move(value));
+    return Status::OK();
+  }
+
+  // The version this write would immediately follow.
+  auto it = st.versions.lower_bound(txn->tn);
+  if (it != st.versions.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.rts > txn->tn) {
+      // A younger transaction already read the preceding version; this
+      // write would invalidate that read.
+      if (env_.counters != nullptr && prev->second.rts_by_ro) {
+        env_.counters->rw_aborts_caused_by_ro.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+      return Status::Aborted("MVTO write rejected on key " +
+                             std::to_string(key));
+    }
+  }
+  if (it != st.versions.end() && it->first == txn->tn) {
+    return Status::Aborted("duplicate timestamp write on key " +
+                           std::to_string(key));
+  }
+  VersionMeta meta;
+  meta.committed = false;
+  meta.pending_value = value;
+  st.versions.emplace(txn->tn, std::move(meta));
+  txn->BufferWrite(key, std::move(value));
+  return Status::OK();
+}
+
+Status Mvto::Commit(TxnState* txn) {
+  for (ObjectKey key : txn->write_order) {
+    Shard& shard = ShardFor(key);
+    {
+      std::lock_guard<std::mutex> guard(shard.mu);
+      KeyState& st = shard.table[key];
+      auto it = st.versions.find(txn->tn);
+      if (it != st.versions.end()) {
+        it->second.committed = true;
+        env_.store->GetOrCreate(key)->Install(
+            Version{txn->tn, std::move(it->second.pending_value), txn->id});
+        it->second.pending_value.clear();
+      }
+    }
+    shard.cv.notify_all();
+  }
+  return Status::OK();
+}
+
+void Mvto::Abort(TxnState* txn) {
+  for (ObjectKey key : txn->write_order) {
+    Shard& shard = ShardFor(key);
+    {
+      std::lock_guard<std::mutex> guard(shard.mu);
+      auto st = shard.table.find(key);
+      if (st != shard.table.end()) {
+        auto it = st->second.versions.find(txn->tn);
+        // Only erase if still pending (it is ours; committed can't abort).
+        if (it != st->second.versions.end() && !it->second.committed) {
+          st->second.versions.erase(it);
+        }
+      }
+    }
+    shard.cv.notify_all();
+  }
+}
+
+}  // namespace mvcc

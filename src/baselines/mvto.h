@@ -1,0 +1,80 @@
+#ifndef MVCC_BASELINES_MVTO_H_
+#define MVCC_BASELINES_MVTO_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cc/protocol.h"
+
+namespace mvcc {
+
+// Reed's multiversion timestamp ordering [14] — the baseline whose
+// drawbacks motivate the paper (Section 2):
+//
+//  * Every transaction, including read-only ones, draws a unique
+//    timestamp from a shared counter at begin.
+//  * A read of x returns the version with the largest w-ts <= ts(T) and
+//    RECORDS ts(T) in that version's r-ts — read-only transactions
+//    update the database's synchronization metadata (counted in
+//    EventCounters::ro_metadata_writes).
+//  * A read must WAIT when the version it would return is a pending
+//    (uncommitted) write — read-only transactions can block.
+//  * A write of x is REJECTED when a younger transaction already read the
+//    preceding version (r-ts > ts(T)) — so a read-only transaction can
+//    cause a read-write transaction to abort (counted in
+//    EventCounters::rw_aborts_caused_by_ro).
+//  * Commits are visible immediately; there is no delayed visibility.
+class Mvto : public Protocol {
+ public:
+  explicit Mvto(ProtocolEnv env, size_t num_shards = 64);
+
+  std::string_view name() const override { return "mvto"; }
+  bool ReadOnlyBypass() const override { return false; }
+
+  Status Begin(TxnState* txn) override;
+  Result<VersionRead> Read(TxnState* txn, ObjectKey key) override;
+  Status Write(TxnState* txn, ObjectKey key, Value value) override;
+  Status Commit(TxnState* txn) override;
+  void Abort(TxnState* txn) override;
+
+ private:
+  struct VersionMeta {
+    TxnNumber rts = 0;        // largest timestamp that read this version
+    bool rts_by_ro = false;   // class of the reader that set rts
+    bool committed = false;
+    Value pending_value;      // value while uncommitted
+  };
+
+  struct KeyState {
+    bool seeded = false;
+    // All versions (pending and committed), keyed by w-ts.
+    std::map<TxnNumber, VersionMeta> versions;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<ObjectKey, KeyState> table;
+  };
+
+  Shard& ShardFor(ObjectKey key) const {
+    return shards_[key % shards_.size()];
+  }
+
+  // Seeds a key's metadata from the preloaded initial version. Caller
+  // holds the shard mutex.
+  void SeedLocked(ObjectKey key, KeyState* st);
+
+  ProtocolEnv env_;
+  std::atomic<TxnNumber> clock_{0};
+  mutable std::vector<Shard> shards_;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_BASELINES_MVTO_H_

@@ -1,0 +1,60 @@
+#include "baselines/sv2pl.h"
+
+#include <string>
+#include <utility>
+
+namespace mvcc {
+
+Sv2pl::Sv2pl(ProtocolEnv env, DeadlockPolicy policy)
+    : env_(env), locks_(policy, env.counters) {}
+
+Status Sv2pl::Begin(TxnState* txn) {
+  txn->sn = kInfiniteTxnNumber;
+  return Status::OK();
+}
+
+Result<VersionRead> Sv2pl::Read(TxnState* txn, ObjectKey key) {
+  auto own = txn->write_set.find(key);
+  if (own != txn->write_set.end()) {
+    return VersionRead{kPendingVersion, txn->id, own->second};
+  }
+  Status s = locks_.Acquire(txn->id, key, LockMode::kShared,
+                            txn->is_read_only());
+  if (!s.ok()) return s;
+  VersionChain* chain = env_.store->Find(key);
+  if (chain == nullptr) {
+    return Status::NotFound("key " + std::to_string(key));
+  }
+  return chain->ReadLatest();
+}
+
+Status Sv2pl::Write(TxnState* txn, ObjectKey key, Value value) {
+  if (txn->is_read_only()) {
+    return Status::InvalidArgument("write on read-only transaction");
+  }
+  Status s = locks_.Acquire(txn->id, key, LockMode::kExclusive);
+  if (!s.ok()) return s;
+  txn->BufferWrite(key, std::move(value));
+  return Status::OK();
+}
+
+Status Sv2pl::Commit(TxnState* txn) {
+  if (!txn->is_read_only()) {
+    const TxnNumber ts =
+        commit_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+    txn->tn = ts;
+    txn->registered = true;
+    for (ObjectKey key : txn->write_order) {
+      VersionChain* chain = env_.store->GetOrCreate(key);
+      chain->Install(Version{ts, txn->write_set[key], txn->id});
+      // Single-version store: in-place update, old state is gone.
+      chain->Prune(ts);
+    }
+  }
+  locks_.ReleaseAll(txn->id);
+  return Status::OK();
+}
+
+void Sv2pl::Abort(TxnState* txn) { locks_.ReleaseAll(txn->id); }
+
+}  // namespace mvcc

@@ -1,0 +1,38 @@
+#ifndef MVCC_BASELINES_SV2PL_H_
+#define MVCC_BASELINES_SV2PL_H_
+
+#include <atomic>
+#include <string_view>
+
+#include "cc/lock_manager.h"
+#include "cc/protocol.h"
+
+namespace mvcc {
+
+// Single-version strict two-phase locking: the no-multiversioning
+// baseline. Read-only transactions take shared locks like everyone else,
+// so they block behind writers, delay writers, and can be chosen as
+// deadlock victims — everything the multiversion schemes exist to avoid.
+// The store is kept single-versioned by pruning on install.
+class Sv2pl : public Protocol {
+ public:
+  Sv2pl(ProtocolEnv env, DeadlockPolicy policy);
+
+  std::string_view name() const override { return "sv-2pl"; }
+  bool ReadOnlyBypass() const override { return false; }
+
+  Status Begin(TxnState* txn) override;
+  Result<VersionRead> Read(TxnState* txn, ObjectKey key) override;
+  Status Write(TxnState* txn, ObjectKey key, Value value) override;
+  Status Commit(TxnState* txn) override;
+  void Abort(TxnState* txn) override;
+
+ private:
+  ProtocolEnv env_;
+  LockManager locks_;
+  std::atomic<TxnNumber> commit_counter_{0};
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_BASELINES_SV2PL_H_

@@ -1,0 +1,153 @@
+#include "baselines/weihl_ti.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace mvcc {
+
+WeihlTi::WeihlTi(ProtocolEnv env, DeadlockPolicy policy, size_t num_shards)
+    : env_(env),
+      locks_(policy, env.counters),
+      shards_(num_shards == 0 ? 1 : num_shards) {}
+
+Status WeihlTi::Begin(TxnState* txn) {
+  if (txn->is_read_only()) {
+    // Timestamp chosen at initiation — this is the "initiation" in the
+    // protocol's name.
+    std::lock_guard<std::mutex> guard(clock_mu_);
+    txn->sn = clock_;
+  } else {
+    txn->sn = kInfiniteTxnNumber;
+  }
+  return Status::OK();
+}
+
+Result<VersionRead> WeihlTi::Read(TxnState* txn, ObjectKey key) {
+  VersionChain* chain = env_.store->Find(key);
+  if (!txn->is_read_only()) {
+    auto own = txn->write_set.find(key);
+    if (own != txn->write_set.end()) {
+      return VersionRead{kPendingVersion, txn->id, own->second};
+    }
+    Status s = locks_.Acquire(txn->id, key, LockMode::kShared);
+    if (!s.ok()) return s;
+    if (chain == nullptr) {
+      return Status::NotFound("key " + std::to_string(key));
+    }
+    return chain->ReadLatest();
+  }
+
+  // Read-only path: negotiate on the object's timestamps.
+  if (chain == nullptr) {
+    return Status::NotFound("key " + std::to_string(key));
+  }
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  KeyState& st = shard.table[key];
+  bool counted_block = false;
+  while (true) {
+    // Raise the read-floor so writers deciding from now on serialize
+    // after this reader.
+    if (st.read_floor < txn->sn) {
+      st.read_floor = txn->sn;
+      if (env_.counters != nullptr) {
+        env_.counters->ro_metadata_writes.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    }
+    // A writer that is undecided, or decided at or below ts_R, may still
+    // place a version inside our snapshot: wait it out.
+    bool blocked = false;
+    for (const auto& [writer, ts] : st.active_writers) {
+      if (ts == 0 || ts <= txn->sn) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) return chain->Read(txn->sn);
+    if (env_.counters != nullptr) {
+      env_.counters->negotiation_rounds.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      if (!counted_block) {
+        counted_block = true;
+        env_.counters->ro_blocks.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    shard.cv.wait(lock);
+  }
+}
+
+Status WeihlTi::Write(TxnState* txn, ObjectKey key, Value value) {
+  if (txn->is_read_only()) {
+    return Status::InvalidArgument("write on read-only transaction");
+  }
+  Status s = locks_.Acquire(txn->id, key, LockMode::kExclusive);
+  if (!s.ok()) return s;
+  {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> guard(shard.mu);
+    shard.table[key].active_writers.emplace(txn->id, 0);
+  }
+  txn->BufferWrite(key, std::move(value));
+  return Status::OK();
+}
+
+Status WeihlTi::Commit(TxnState* txn) {
+  if (txn->is_read_only()) return Status::OK();
+  // Decide the commit timestamp: above the global clock and above every
+  // read-floor of the objects written.
+  TxnNumber ts = 0;
+  {
+    std::lock_guard<std::mutex> guard(clock_mu_);
+    ts = clock_ + 1;
+    for (ObjectKey key : txn->write_order) {
+      Shard& shard = ShardFor(key);
+      std::lock_guard<std::mutex> shard_guard(shard.mu);
+      auto it = shard.table.find(key);
+      if (it != shard.table.end() && it->second.read_floor >= ts) {
+        ts = it->second.read_floor + 1;
+      }
+    }
+    clock_ = ts;
+  }
+  txn->tn = ts;
+  txn->registered = true;
+  // Publish the decision, install, and withdraw.
+  for (ObjectKey key : txn->write_order) {
+    Shard& shard = ShardFor(key);
+    {
+      std::lock_guard<std::mutex> guard(shard.mu);
+      shard.table[key].active_writers[txn->id] = ts;
+    }
+  }
+  for (ObjectKey key : txn->write_order) {
+    env_.store->GetOrCreate(key)->Install(
+        Version{ts, txn->write_set[key], txn->id});
+    Shard& shard = ShardFor(key);
+    {
+      std::lock_guard<std::mutex> guard(shard.mu);
+      shard.table[key].active_writers.erase(txn->id);
+    }
+    shard.cv.notify_all();
+  }
+  locks_.ReleaseAll(txn->id);
+  return Status::OK();
+}
+
+void WeihlTi::Abort(TxnState* txn) {
+  if (!txn->is_read_only()) {
+    for (ObjectKey key : txn->write_order) {
+      Shard& shard = ShardFor(key);
+      {
+        std::lock_guard<std::mutex> guard(shard.mu);
+        auto it = shard.table.find(key);
+        if (it != shard.table.end()) it->second.active_writers.erase(txn->id);
+      }
+      shard.cv.notify_all();
+    }
+    locks_.ReleaseAll(txn->id);
+  }
+}
+
+}  // namespace mvcc

@@ -1,0 +1,72 @@
+#ifndef MVCC_BASELINES_WEIHL_TI_H_
+#define MVCC_BASELINES_WEIHL_TI_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cc/lock_manager.h"
+#include "cc/protocol.h"
+
+namespace mvcc {
+
+// A rendition of Weihl's "timestamps and initiation" protocol [17] as the
+// paper characterizes it (Section 2): no completed-transaction list, but
+// read-only transactions must perform synchronization actions on
+// per-object timestamps against concurrent read-write transactions, which
+// can degenerate into rounds of negotiation "where neither transaction
+// may proceed with useful work".
+//
+// Concretely:
+//  * Read-write transactions run strict 2PL; at commit they draw a commit
+//    timestamp no smaller than any read-floor of the objects they wrote.
+//  * A read-only transaction takes its timestamp ts_R at initiation. Each
+//    read first RAISES the object's read-floor to ts_R (a metadata write,
+//    counted in ro_metadata_writes) — forcing writers that decide later
+//    to serialize after it — and then must WAIT OUT every writer of the
+//    object that is undecided or decided at or below ts_R. Every
+//    fruitless wake-up is one negotiation round
+//    (EventCounters::negotiation_rounds).
+class WeihlTi : public Protocol {
+ public:
+  WeihlTi(ProtocolEnv env, DeadlockPolicy policy, size_t num_shards = 64);
+
+  std::string_view name() const override { return "weihl-ti"; }
+  bool ReadOnlyBypass() const override { return false; }
+
+  Status Begin(TxnState* txn) override;
+  Result<VersionRead> Read(TxnState* txn, ObjectKey key) override;
+  Status Write(TxnState* txn, ObjectKey key, Value value) override;
+  Status Commit(TxnState* txn) override;
+  void Abort(TxnState* txn) override;
+
+ private:
+  struct KeyState {
+    TxnNumber read_floor = 0;
+    // Active writers of this object: 0 = commit timestamp undecided.
+    std::unordered_map<TxnId, TxnNumber> active_writers;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<ObjectKey, KeyState> table;
+  };
+
+  Shard& ShardFor(ObjectKey key) const {
+    return shards_[key % shards_.size()];
+  }
+
+  ProtocolEnv env_;
+  LockManager locks_;
+  mutable std::vector<Shard> shards_;
+
+  std::mutex clock_mu_;
+  TxnNumber clock_ = 0;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_BASELINES_WEIHL_TI_H_

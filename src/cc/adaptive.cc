@@ -1,0 +1,108 @@
+#include "cc/adaptive.h"
+
+#include <utility>
+
+namespace mvcc {
+
+Adaptive::Adaptive(ProtocolEnv env, DeadlockPolicy policy,
+                   AdaptiveOptions options)
+    : options_(options), locking_(env, policy), optimistic_(env) {}
+
+Status Adaptive::Begin(TxnState* txn) {
+  auto data = std::make_unique<AdaptiveTxnData>();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Apply a pending mode change at a quiescent point. Under sustained
+    // load quiescence never occurs naturally, so a pending change DRAINS
+    // the system: new transactions wait here until the in-flight ones
+    // finish (they always do: 2PL resolves by wait-die/detection, OCC
+    // never blocks), then the mode flips and admission resumes.
+    cv_.wait(lock, [this] {
+      return desired_ == mode_.load(std::memory_order_relaxed) ||
+             active_ == 0;
+    });
+    const Mode current = mode_.load(std::memory_order_relaxed);
+    if (active_ == 0 && desired_ != current) {
+      mode_.store(desired_, std::memory_order_release);
+      switches_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ++active_;
+    data->engine = mode_.load(std::memory_order_relaxed) == Mode::kLocking
+                       ? static_cast<Protocol*>(&locking_)
+                       : static_cast<Protocol*>(&optimistic_);
+  }
+  Protocol* engine = data->engine;
+  txn->cc_data = std::move(data);
+  ScopedInner scoped(txn);
+  return engine->Begin(txn);
+}
+
+Result<VersionRead> Adaptive::Read(TxnState* txn, ObjectKey key) {
+  ScopedInner scoped(txn);
+  return scoped.engine()->Read(txn, key);
+}
+
+Status Adaptive::Write(TxnState* txn, ObjectKey key, Value value) {
+  ScopedInner scoped(txn);
+  return scoped.engine()->Write(txn, key, std::move(value));
+}
+
+Result<std::vector<std::pair<ObjectKey, VersionRead>>> Adaptive::Scan(
+    TxnState* txn, ObjectKey lo, ObjectKey hi) {
+  ScopedInner scoped(txn);
+  return scoped.engine()->Scan(txn, lo, hi);
+}
+
+Status Adaptive::Commit(TxnState* txn) {
+  Status s;
+  {
+    ScopedInner scoped(txn);
+    s = scoped.engine()->Commit(txn);
+  }
+  if (s.ok()) RecordOutcome(/*aborted=*/false);
+  // On failure Abort() follows (transaction layer contract) and records.
+  return s;
+}
+
+void Adaptive::Abort(TxnState* txn) {
+  {
+    ScopedInner scoped(txn);
+    scoped.engine()->Abort(txn);
+  }
+  RecordOutcome(/*aborted=*/true);
+}
+
+void Adaptive::RecordOutcome(bool aborted) {
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    --active_;
+    if (aborted) {
+      ++window_aborts_;
+    } else {
+      ++window_commits_;
+    }
+    const int finished = window_commits_ + window_aborts_;
+    if (finished >= options_.window) {
+      const double abort_rate = static_cast<double>(window_aborts_) /
+                                static_cast<double>(finished);
+      window_commits_ = 0;
+      window_aborts_ = 0;
+      Mode vote = desired_;
+      if (abort_rate > options_.go_locking_above) {
+        vote = Mode::kLocking;
+      } else if (abort_rate < options_.go_optimistic_below) {
+        vote = Mode::kOptimistic;
+      }
+      // Two consecutive windows must agree before a (drain-inducing)
+      // switch is requested; one noisy window cannot thrash the system.
+      if (vote == last_window_vote_) desired_ = vote;
+      last_window_vote_ = vote;
+    }
+    wake = active_ == 0 ||
+           desired_ == mode_.load(std::memory_order_relaxed);
+  }
+  if (wake) cv_.notify_all();
+}
+
+}  // namespace mvcc

@@ -1,0 +1,55 @@
+#include "cc/deadlock_detector.h"
+
+namespace mvcc {
+
+bool DeadlockDetector::AddEdges(TxnId waiter,
+                                const std::vector<TxnId>& holders) {
+  std::lock_guard<std::mutex> guard(mu_);
+  // A cycle through `waiter` forms iff some holder already (transitively)
+  // waits for `waiter`.
+  for (TxnId holder : holders) {
+    if (holder == waiter) continue;
+    if (Reaches(holder, waiter)) return false;
+  }
+  auto& out = edges_[waiter];
+  for (TxnId holder : holders) {
+    if (holder != waiter) out.insert(holder);
+  }
+  return true;
+}
+
+void DeadlockDetector::ClearWaits(TxnId txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  edges_.erase(txn);
+}
+
+void DeadlockDetector::RemoveTxn(TxnId txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  edges_.erase(txn);
+  for (auto& [waiter, targets] : edges_) targets.erase(txn);
+}
+
+size_t DeadlockDetector::NumWaiters() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return edges_.size();
+}
+
+bool DeadlockDetector::Reaches(TxnId start, TxnId target) const {
+  if (start == target) return true;
+  std::unordered_set<TxnId> visited;
+  std::vector<TxnId> stack{start};
+  while (!stack.empty()) {
+    const TxnId node = stack.back();
+    stack.pop_back();
+    if (!visited.insert(node).second) continue;
+    auto it = edges_.find(node);
+    if (it == edges_.end()) continue;
+    for (TxnId next : it->second) {
+      if (next == target) return true;
+      stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+}  // namespace mvcc

@@ -1,0 +1,53 @@
+#ifndef MVCC_CC_DEADLOCK_DETECTOR_H_
+#define MVCC_CC_DEADLOCK_DETECTOR_H_
+
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace mvcc {
+
+// Waits-for graph with detection-on-insertion. A blocked lock requester
+// adds edges to the current holders before sleeping; if adding the edges
+// closes a cycle, the requester is chosen as the victim and the edges are
+// rolled back. Remove() is called when a transaction stops waiting (lock
+// granted or transaction finished).
+//
+// The paper's observation (Section 4.4) that transactions registered with
+// the version control module can never appear in a deadlock cycle is
+// asserted by tests built on this class.
+class DeadlockDetector {
+ public:
+  DeadlockDetector() = default;
+  DeadlockDetector(const DeadlockDetector&) = delete;
+  DeadlockDetector& operator=(const DeadlockDetector&) = delete;
+
+  // Adds waits-for edges waiter -> holder for every holder. Returns true
+  // if the graph remains acyclic (caller may wait); returns false if a
+  // cycle through `waiter` would form, in which case no edges are added
+  // and the caller must abort `waiter`.
+  bool AddEdges(TxnId waiter, const std::vector<TxnId>& holders);
+
+  // Removes all outgoing edges of `txn` (it stopped waiting).
+  void ClearWaits(TxnId txn);
+
+  // Removes `txn` entirely (finished): its outgoing edges and any edges
+  // pointing at it.
+  void RemoveTxn(TxnId txn);
+
+  size_t NumWaiters() const;
+
+ private:
+  // True if `target` is reachable from `start` following edges_.
+  bool Reaches(TxnId start, TxnId target) const;
+
+  mutable std::mutex mu_;
+  std::unordered_map<TxnId, std::unordered_set<TxnId>> edges_;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_CC_DEADLOCK_DETECTOR_H_

@@ -1,0 +1,158 @@
+#include "cc/lock_manager.h"
+
+#include <chrono>
+
+#include <algorithm>
+#include <string>
+
+namespace mvcc {
+
+LockManager::LockManager(DeadlockPolicy policy, EventCounters* counters,
+                         size_t num_shards, int64_t timeout_ms)
+    : policy_(policy),
+      timeout_ms_(timeout_ms < 1 ? 1 : timeout_ms),
+      counters_(counters),
+      shards_(num_shards == 0 ? 1 : num_shards),
+      held_(16) {}
+
+std::vector<TxnId> LockManager::Conflicts(const KeyLock& lock, TxnId txn,
+                                          LockMode mode) {
+  std::vector<TxnId> conflicts;
+  for (const auto& [holder, held_mode] : lock.holders) {
+    if (holder == txn) continue;
+    if (mode == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
+      conflicts.push_back(holder);
+    }
+  }
+  return conflicts;
+}
+
+Status LockManager::Acquire(TxnId txn, ObjectKey key, LockMode mode,
+                            bool read_only) {
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lock(shard.mu);
+
+  bool counted_block = false;
+  while (true) {
+    // Re-lookup each iteration: the table entry may have been erased and
+    // re-created while this thread waited on the condition variable.
+    KeyLock& kl = shard.table[key];
+    auto self = kl.holders.find(txn);
+    // Fast path: already hold a mode at least as strong.
+    if (self != kl.holders.end() &&
+        (self->second == LockMode::kExclusive ||
+         mode == LockMode::kShared)) {
+      return Status::OK();
+    }
+    std::vector<TxnId> conflicts = Conflicts(kl, txn, mode);
+    if (conflicts.empty()) {
+      kl.holders[txn] = (self != kl.holders.end() &&
+                         self->second == LockMode::kExclusive)
+                            ? LockMode::kExclusive
+                            : mode;
+      if (self == kl.holders.end()) RecordHeld(txn, key);
+      if (policy_ == DeadlockPolicy::kDetect) detector_.ClearWaits(txn);
+      return Status::OK();
+    }
+
+    // Conflict: decide between waiting and dying.
+    if (policy_ == DeadlockPolicy::kWaitDie) {
+      // Die if younger (larger id) than any conflicting holder.
+      for (TxnId holder : conflicts) {
+        if (txn > holder) {
+          if (counters_ != nullptr) {
+            counters_->deadlock_aborts.fetch_add(1,
+                                                 std::memory_order_relaxed);
+          }
+          return Status::Aborted("wait-die victim on key " +
+                                 std::to_string(key));
+        }
+      }
+    } else if (policy_ == DeadlockPolicy::kDetect) {
+      if (!detector_.AddEdges(txn, conflicts)) {
+        if (counters_ != nullptr) {
+          counters_->deadlock_aborts.fetch_add(1, std::memory_order_relaxed);
+        }
+        return Status::Aborted("deadlock victim on key " +
+                               std::to_string(key));
+      }
+    }
+
+    if (!counted_block && counters_ != nullptr) {
+      counted_block = true;
+      auto& counter = read_only ? counters_->ro_blocks : counters_->rw_blocks;
+      counter.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (policy_ == DeadlockPolicy::kTimeout) {
+      const auto status = shard.cv.wait_for(
+          lock, std::chrono::milliseconds(timeout_ms_));
+      if (status == std::cv_status::timeout) {
+        // Presumed deadlock: re-check once, then give up.
+        KeyLock& kl2 = shard.table[key];
+        if (!Conflicts(kl2, txn, mode).empty()) {
+          if (counters_ != nullptr) {
+            counters_->deadlock_aborts.fetch_add(
+                1, std::memory_order_relaxed);
+          }
+          return Status::Aborted("lock timeout on key " +
+                                 std::to_string(key));
+        }
+      }
+    } else {
+      shard.cv.wait(lock);
+    }
+    if (policy_ == DeadlockPolicy::kDetect) detector_.ClearWaits(txn);
+  }
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::vector<ObjectKey> keys;
+  {
+    HeldShard& hs = HeldFor(txn);
+    std::lock_guard<SpinLatch> guard(hs.latch);
+    auto it = hs.keys.find(txn);
+    if (it != hs.keys.end()) {
+      keys = std::move(it->second);
+      hs.keys.erase(it);
+    }
+  }
+  // Group keys by shard so each shard is locked once.
+  std::sort(keys.begin(), keys.end(), [this](ObjectKey a, ObjectKey b) {
+    return a % shards_.size() < b % shards_.size();
+  });
+  size_t i = 0;
+  while (i < keys.size()) {
+    Shard& shard = ShardFor(keys[i]);
+    {
+      std::lock_guard<std::mutex> guard(shard.mu);
+      while (i < keys.size() && &ShardFor(keys[i]) == &shard) {
+        auto it = shard.table.find(keys[i]);
+        if (it != shard.table.end()) {
+          it->second.holders.erase(txn);
+          if (it->second.holders.empty()) shard.table.erase(it);
+        }
+        ++i;
+      }
+    }
+    shard.cv.notify_all();
+  }
+  if (policy_ == DeadlockPolicy::kDetect) detector_.RemoveTxn(txn);
+}
+
+bool LockManager::Holds(TxnId txn, ObjectKey key, LockMode mode) const {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  auto it = shard.table.find(key);
+  if (it == shard.table.end()) return false;
+  auto holder = it->second.holders.find(txn);
+  if (holder == it->second.holders.end()) return false;
+  return holder->second == LockMode::kExclusive || mode == LockMode::kShared;
+}
+
+void LockManager::RecordHeld(TxnId txn, ObjectKey key) {
+  HeldShard& hs = HeldFor(txn);
+  std::lock_guard<SpinLatch> guard(hs.latch);
+  hs.keys[txn].push_back(key);
+}
+
+}  // namespace mvcc

@@ -1,0 +1,110 @@
+#ifndef MVCC_CC_LOCK_MANAGER_H_
+#define MVCC_CC_LOCK_MANAGER_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/ids.h"
+#include "common/latch.h"
+#include "common/status.h"
+#include "cc/deadlock_detector.h"
+
+namespace mvcc {
+
+enum class LockMode {
+  kShared,
+  kExclusive,
+};
+
+// How lock conflicts that could deadlock are resolved.
+//  kWaitDie:  requester younger than a conflicting holder aborts
+//             ("dies"); older requesters wait. Deadlock-free by
+//             construction, but kills many transactions that were not
+//             actually deadlocked.
+//  kDetect:   requester adds waits-for edges; if that closes a cycle the
+//             requester aborts, otherwise it waits. Aborts only real
+//             deadlocks at the cost of graph maintenance.
+//  kTimeout:  requester waits up to a fixed budget, then presumes
+//             deadlock and aborts. No bookkeeping, but slow transactions
+//             are indistinguishable from deadlocked ones.
+enum class DeadlockPolicy {
+  kWaitDie,
+  kDetect,
+  kTimeout,
+};
+
+// Strict two-phase lock manager with shared/exclusive modes and S->X
+// upgrades. Used by the VC+2PL protocol, by the MV2PL-CTL baseline, and
+// by the single-version 2PL baseline. The lock table is sharded; each
+// shard has one mutex and a broadcast condition variable (releases wake
+// waiters, which re-evaluate the grant predicate).
+class LockManager {
+ public:
+  LockManager(DeadlockPolicy policy, EventCounters* counters,
+              size_t num_shards = 64,
+              int64_t timeout_ms = 50);  // kTimeout wait budget
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  // Acquires `mode` on `key` for `txn`, blocking if necessary. Returns
+  // kAborted if the transaction is chosen as a deadlock victim (wait-die
+  // "die", or cycle detection). `read_only` attributes the block/abort
+  // counters. Transaction ids double as age: smaller id = older.
+  Status Acquire(TxnId txn, ObjectKey key, LockMode mode,
+                 bool read_only = false);
+
+  // Releases every lock held by `txn` and wakes waiters.
+  void ReleaseAll(TxnId txn);
+
+  // True if `txn` holds at least `mode` on `key`.
+  bool Holds(TxnId txn, ObjectKey key, LockMode mode) const;
+
+  DeadlockPolicy policy() const { return policy_; }
+  DeadlockDetector& detector() { return detector_; }
+
+ private:
+  struct KeyLock {
+    // Every holder with its strongest granted mode. Invariant: either a
+    // single kExclusive holder, or any number of kShared holders.
+    std::unordered_map<TxnId, LockMode> holders;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<ObjectKey, KeyLock> table;
+  };
+
+  struct HeldShard {
+    SpinLatch latch;
+    std::unordered_map<TxnId, std::vector<ObjectKey>> keys;
+  };
+
+  Shard& ShardFor(ObjectKey key) const {
+    return shards_[key % shards_.size()];
+  }
+  HeldShard& HeldFor(TxnId txn) const {
+    return held_[txn % held_.size()];
+  }
+
+  // Returns the conflicting holders preventing `txn` from taking `mode`
+  // on `lock` (empty = grantable). Caller holds the shard mutex.
+  static std::vector<TxnId> Conflicts(const KeyLock& lock, TxnId txn,
+                                      LockMode mode);
+
+  void RecordHeld(TxnId txn, ObjectKey key);
+
+  const DeadlockPolicy policy_;
+  const int64_t timeout_ms_;
+  EventCounters* const counters_;
+  mutable std::vector<Shard> shards_;
+  mutable std::vector<HeldShard> held_;
+  DeadlockDetector detector_;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_CC_LOCK_MANAGER_H_

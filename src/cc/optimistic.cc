@@ -1,0 +1,166 @@
+#include "cc/optimistic.h"
+
+#include <map>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace mvcc {
+
+Optimistic::Optimistic(ProtocolEnv env) : env_(env) {}
+
+Status Optimistic::Begin(TxnState* txn) {
+  auto data = std::make_unique<OccData>();
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    data->start_serial = finished_watermark_;
+    active_starts_.insert(data->start_serial);
+    data->begun = true;
+  }
+  txn->sn = kInfiniteTxnNumber;  // reads see the latest committed version
+  txn->cc_data = std::move(data);
+  return Status::OK();
+}
+
+Result<VersionRead> Optimistic::Read(TxnState* txn, ObjectKey key) {
+  auto own = txn->write_set.find(key);
+  if (own != txn->write_set.end()) {
+    return VersionRead{kPendingVersion, txn->id, own->second};
+  }
+  VersionChain* chain = env_.store->Find(key);
+  if (chain == nullptr) {
+    return Status::NotFound("key " + std::to_string(key));
+  }
+  return chain->ReadLatest();
+}
+
+Status Optimistic::Write(TxnState* txn, ObjectKey key, Value value) {
+  txn->BufferWrite(key, std::move(value));
+  return Status::OK();
+}
+
+Result<std::vector<std::pair<ObjectKey, VersionRead>>> Optimistic::Scan(
+    TxnState* txn, ObjectKey lo, ObjectKey hi) {
+  auto* data = static_cast<OccData*>(txn->cc_data.get());
+  std::map<ObjectKey, VersionRead> rows;
+  for (ObjectKey key : env_.store->KeysInRange(lo, hi)) {
+    auto own = txn->write_set.find(key);
+    if (own != txn->write_set.end()) {
+      rows.emplace(key,
+                   VersionRead{kPendingVersion, txn->id, own->second});
+      continue;
+    }
+    VersionChain* chain = env_.store->Find(key);
+    if (chain == nullptr) continue;
+    Result<VersionRead> read = chain->ReadLatest();
+    if (!read.ok()) continue;
+    rows.emplace(key, std::move(*read));
+  }
+  for (ObjectKey key : txn->write_order) {
+    if (key < lo || key > hi || rows.count(key) != 0) continue;
+    rows.emplace(key, VersionRead{kPendingVersion, txn->id,
+                                  txn->write_set[key]});
+  }
+  data->scans.push_back(ScannedRange{lo, hi});
+  std::vector<std::pair<ObjectKey, VersionRead>> out;
+  out.reserve(rows.size());
+  for (auto& [key, read] : rows) out.emplace_back(key, std::move(read));
+  return out;
+}
+
+Status Optimistic::Commit(TxnState* txn) {
+  auto* data = static_cast<OccData*>(txn->cc_data.get());
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Backward validation: did any transaction validated after our start
+    // write something we read?
+    std::unordered_set<ObjectKey> read_keys;
+    read_keys.reserve(txn->reads.size());
+    for (const ReadEntry& r : txn->reads) read_keys.insert(r.key);
+    for (const ValidatedEntry& entry : log_) {
+      if (entry.serial <= data->start_serial) continue;
+      for (ObjectKey w : entry.writes) {
+        bool conflict = read_keys.count(w) != 0;
+        // Phantom check: a later-validated writer touched (possibly
+        // created) a key inside one of our scanned ranges.
+        for (const ScannedRange& scan : data->scans) {
+          if (conflict) break;
+          conflict = w >= scan.lo && w <= scan.hi;
+        }
+        if (conflict) {
+          active_starts_.erase(active_starts_.find(data->start_serial));
+          data->begun = false;
+          return Status::Aborted("OCC validation conflict on key " +
+                                 std::to_string(w));
+        }
+      }
+    }
+    // Validated: serial position fixed — register with version control
+    // inside the critical section so tn order equals validation order.
+    const uint64_t serial = ++serial_counter_;
+    txn->tn = env_.vc->Register(txn->id);
+    txn->registered = true;
+    ValidatedEntry entry;
+    entry.serial = serial;
+    entry.writes = txn->write_order;
+    log_.push_back(std::move(entry));
+    active_starts_.erase(active_starts_.find(data->start_serial));
+    data->begun = false;
+    data->start_serial = serial;  // reuse: our own serial, for finish
+  }
+
+  // Install outside the critical section.
+  for (ObjectKey key : txn->write_order) {
+    env_.store->GetOrCreate(key)->Install(
+        Version{txn->tn, txn->write_set[key], txn->id});
+  }
+
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    const uint64_t index = data->start_serial - log_base_ - 1;
+    log_[index].finished = true;
+    // Advance the finished watermark over the finished prefix.
+    while (finished_watermark_ - log_base_ < log_.size() &&
+           log_[finished_watermark_ - log_base_].finished) {
+      ++finished_watermark_;
+    }
+    TrimLogLocked();
+  }
+
+  env_.vc->Complete(txn->tn);
+  return Status::OK();
+}
+
+void Optimistic::Abort(TxnState* txn) {
+  auto* data = static_cast<OccData*>(txn->cc_data.get());
+  if (data != nullptr && data->begun) {
+    std::lock_guard<std::mutex> guard(mu_);
+    active_starts_.erase(active_starts_.find(data->start_serial));
+    data->begun = false;
+  }
+  // A transaction that passed validation cannot abort afterwards; if it
+  // was registered, Commit() already completed it. Defensive:
+  if (txn->registered && !txn->finished) env_.vc->Discard(txn->tn);
+}
+
+size_t Optimistic::ValidationLogSize() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return log_.size();
+}
+
+void Optimistic::TrimLogLocked() {
+  const uint64_t min_active =
+      active_starts_.empty() ? finished_watermark_ : *active_starts_.begin();
+  while (!log_.empty()) {
+    const uint64_t front_serial = log_base_ + 1;
+    if (front_serial > min_active || front_serial > finished_watermark_) {
+      break;
+    }
+    log_.pop_front();
+    ++log_base_;
+  }
+}
+
+}  // namespace mvcc

@@ -1,0 +1,16 @@
+#include "cc/protocol.h"
+
+#include "common/clock.h"
+
+namespace mvcc {
+
+void MaybePauseInstall(const ProtocolEnv& env) {
+  if (env.install_pause_ns <= 0) return;
+  const int64_t until = NowNanos() + env.install_pause_ns;
+  while (NowNanos() < until) {
+    // Busy-wait: the injected window must not depend on scheduler wakeup
+    // granularity.
+  }
+}
+
+}  // namespace mvcc

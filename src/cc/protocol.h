@@ -1,0 +1,86 @@
+#ifndef MVCC_CC_PROTOCOL_H_
+#define MVCC_CC_PROTOCOL_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "storage/object_store.h"
+#include "txn/txn_context.h"
+#include "vc/version_control.h"
+
+namespace mvcc {
+
+// Shared services handed to every protocol implementation. The version
+// control module is present for all protocols but the baselines ignore it;
+// the VC protocols never let read-only transactions touch anything else.
+struct ProtocolEnv {
+  ObjectStore* store = nullptr;
+  VersionControl* vc = nullptr;
+  EventCounters* counters = nullptr;
+
+  // Fault injection: busy-wait this long between the per-key version
+  // installs of one commit. Widens the (real but nanosecond-scale)
+  // window in which a multi-key commit is only partially installed, so
+  // tests and ablations can exercise it deterministically. Zero in
+  // production use.
+  int64_t install_pause_ns = 0;
+};
+
+// Helper for the fault-injection pause above.
+void MaybePauseInstall(const ProtocolEnv& env);
+
+// A pluggable synchronization protocol: the paper's "concurrency control
+// component" plus, for the baselines, their integrated version management.
+// The transaction layer owns TxnState and calls these hooks; protocols
+// keep private per-transaction scratch in TxnState::cc_data.
+//
+// Contract:
+//  * Begin() is called exactly once per transaction, before any operation.
+//  * Read()/Write() may return kAborted, after which the transaction layer
+//    calls Abort() exactly once.
+//  * Commit() either returns OK (effects durable and, once visible per the
+//    protocol's rules, readable) or kAborted (protocol already cleaned up
+//    everything except what Abort() does — the layer then calls Abort()).
+//  * Read() must serve the transaction's own buffered write when one
+//    exists for the key (the layer does not pre-check the write set).
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  virtual std::string_view name() const = 0;
+
+  virtual Status Begin(TxnState* txn) = 0;
+  virtual Result<VersionRead> Read(TxnState* txn, ObjectKey key) = 0;
+  virtual Status Write(TxnState* txn, ObjectKey key, Value value) = 0;
+  virtual Status Commit(TxnState* txn) = 0;
+  virtual void Abort(TxnState* txn) = 0;
+
+  // Range scan by a READ-WRITE transaction, for protocols that can
+  // exclude phantoms (2PL via range locks, OCC via validation against
+  // later writers' keys). Returns (key, version) pairs in ascending key
+  // order, including the transaction's own buffered writes in range.
+  // Default: unsupported.
+  virtual Result<std::vector<std::pair<ObjectKey, VersionRead>>> Scan(
+      TxnState* txn, ObjectKey lo, ObjectKey hi) {
+    (void)txn;
+    (void)lo;
+    (void)hi;
+    return Status::InvalidArgument(
+        std::string(name()) +
+        " does not support read-write range scans");
+  }
+
+  // True when read-only transactions bypass the protocol entirely and run
+  // through the version control module alone (the paper's framework).
+  // The transaction layer uses this to route read-only operations.
+  virtual bool ReadOnlyBypass() const { return false; }
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_CC_PROTOCOL_H_

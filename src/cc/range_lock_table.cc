@@ -1,0 +1,71 @@
+#include "cc/range_lock_table.h"
+
+#include <algorithm>
+#include <string>
+
+namespace mvcc {
+
+Status RangeLockTable::AcquireShared(TxnId txn, ObjectKey lo,
+                                     ObjectKey hi) {
+  return Acquire(txn, lo, hi, LockMode::kShared);
+}
+
+Status RangeLockTable::AcquireExclusivePoint(TxnId txn, ObjectKey key) {
+  return Acquire(txn, key, key, LockMode::kExclusive);
+}
+
+Status RangeLockTable::Acquire(TxnId txn, ObjectKey lo, ObjectKey hi,
+                               LockMode mode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  bool counted_block = false;
+  while (true) {
+    bool conflict = false;
+    for (const Entry& entry : entries_) {
+      if (entry.txn == txn) continue;
+      const bool overlap = entry.lo <= hi && lo <= entry.hi;
+      if (!overlap) continue;
+      if (mode == LockMode::kExclusive ||
+          entry.mode == LockMode::kExclusive) {
+        conflict = true;
+        // Wait-die: younger requesters die.
+        if (txn > entry.txn) {
+          if (counters_ != nullptr) {
+            counters_->deadlock_aborts.fetch_add(1,
+                                                 std::memory_order_relaxed);
+          }
+          return Status::Aborted("range wait-die victim on [" +
+                                 std::to_string(lo) + ", " +
+                                 std::to_string(hi) + "]");
+        }
+      }
+    }
+    if (!conflict) {
+      entries_.push_back(Entry{txn, lo, hi, mode});
+      return Status::OK();
+    }
+    if (!counted_block && counters_ != nullptr) {
+      counted_block = true;
+      counters_->rw_blocks.fetch_add(1, std::memory_order_relaxed);
+    }
+    cv_.wait(lock);
+  }
+}
+
+void RangeLockTable::ReleaseAll(TxnId txn) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                  [txn](const Entry& e) {
+                                    return e.txn == txn;
+                                  }),
+                   entries_.end());
+  }
+  cv_.notify_all();
+}
+
+size_t RangeLockTable::ActiveIntervals() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return entries_.size();
+}
+
+}  // namespace mvcc

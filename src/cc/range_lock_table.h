@@ -1,0 +1,64 @@
+#ifndef MVCC_CC_RANGE_LOCK_TABLE_H_
+#define MVCC_CC_RANGE_LOCK_TABLE_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/ids.h"
+#include "common/status.h"
+#include "cc/lock_manager.h"
+
+namespace mvcc {
+
+// Interval locks that make read-write range scans phantom-free under
+// two-phase locking. Point locks on existing keys are handled by the
+// ordinary LockManager; this table covers the gap they cannot:
+//
+//  * a scanner claims its whole range [lo, hi] in shared mode;
+//  * a writer that CREATES a key (no chain in the store yet) claims the
+//    point [k, k] in exclusive mode.
+//
+// Any insertion into a scanned range therefore conflicts here, before
+// the phantom can materialize. Conflicts resolve by wait-die on the
+// transaction id (smaller id = older), like the point lock manager.
+// The table is a flat interval list under one mutex: range scans by
+// read-write transactions are rare compared to point operations, and
+// scanning a short vector beats maintaining an interval tree.
+class RangeLockTable {
+ public:
+  explicit RangeLockTable(EventCounters* counters) : counters_(counters) {}
+  RangeLockTable(const RangeLockTable&) = delete;
+  RangeLockTable& operator=(const RangeLockTable&) = delete;
+
+  // Claims [lo, hi] shared. Returns kAborted on a wait-die kill.
+  Status AcquireShared(TxnId txn, ObjectKey lo, ObjectKey hi);
+
+  // Claims the insertion point [key, key] exclusive.
+  Status AcquireExclusivePoint(TxnId txn, ObjectKey key);
+
+  // Releases every interval held by `txn`.
+  void ReleaseAll(TxnId txn);
+
+  size_t ActiveIntervals() const;
+
+ private:
+  struct Entry {
+    TxnId txn;
+    ObjectKey lo;
+    ObjectKey hi;
+    LockMode mode;
+  };
+
+  Status Acquire(TxnId txn, ObjectKey lo, ObjectKey hi, LockMode mode);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Entry> entries_;
+  EventCounters* counters_;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_CC_RANGE_LOCK_TABLE_H_

@@ -1,0 +1,228 @@
+#include "cc/timestamp_ordering.h"
+
+#include <algorithm>
+
+#include <string>
+#include <utility>
+
+namespace mvcc {
+
+TimestampOrdering::TimestampOrdering(ProtocolEnv env, size_t num_shards)
+    : env_(env), shards_(num_shards == 0 ? 1 : num_shards) {}
+
+Status TimestampOrdering::Begin(TxnState* txn) {
+  // Serial order is determined a priori: register immediately (Figure 3).
+  txn->tn = env_.vc->Register(txn->id);
+  txn->registered = true;
+  txn->sn = txn->tn;
+  return Status::OK();
+}
+
+Result<VersionRead> TimestampOrdering::Read(TxnState* txn, ObjectKey key) {
+  auto own = txn->write_set.find(key);
+  if (own != txn->write_set.end()) {
+    return VersionRead{txn->tn, txn->id, own->second};
+  }
+  VersionChain* chain = env_.store->Find(key);
+  if (chain == nullptr && env_.store->GetOrCreate(key) == nullptr) {
+    return Status::NotFound("key " + std::to_string(key));
+  }
+  chain = env_.store->GetOrCreate(key);
+
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  KeyState& st = shard.table[key];
+  // r-ts(x) <- MAX(r-ts(x), tn(T)) — set before any waiting so that older
+  // writers arriving meanwhile are rejected (Lemma 3).
+  if (txn->tn > st.max_rts) st.max_rts = txn->tn;
+
+  bool counted_block = false;
+  while (true) {
+    Result<VersionRead> candidate = chain->Read(txn->sn);
+    // Pending write by an older transaction that would supersede the
+    // candidate version? Then this read must wait (Figure 3's "may be
+    // delayed due to the pending writes as per TO protocol").
+    const VersionNumber floor =
+        candidate.ok() ? candidate->version : 0;
+    auto it = st.pending.upper_bound(floor);
+    const bool must_wait = it != st.pending.end() && it->first <= txn->sn &&
+                           it->first != txn->tn;
+    if (!must_wait) {
+      if (!candidate.ok()) {
+        return Status::NotFound("key " + std::to_string(key) +
+                                " has no version <= " +
+                                std::to_string(txn->sn));
+      }
+      return candidate;
+    }
+    if (!counted_block && env_.counters != nullptr) {
+      counted_block = true;
+      env_.counters->rw_blocks.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.cv.wait(lock);
+  }
+}
+
+Status TimestampOrdering::Write(TxnState* txn, ObjectKey key, Value value) {
+  // Creating a key: make it enumerable (index entry) BEFORE the pending
+  // write is published, so concurrent range scans either see the pending
+  // (and wait) or have already raised a floor this write will observe.
+  const bool creating = env_.store->Find(key) == nullptr;
+  if (creating) env_.store->GetOrCreate(key);
+
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  KeyState& st = shard.table[key];
+
+  bool counted_block = false;
+  while (true) {
+    // Reject if a younger transaction already read or wrote x.
+    if (st.max_rts > txn->tn || EffectiveWts(st) > txn->tn) {
+      return Status::Aborted("TO conflict on key " + std::to_string(key));
+    }
+    // A pending write by an older transaction blocks this write until the
+    // older transaction resolves.
+    auto it = st.pending.begin();
+    const bool older_pending =
+        it != st.pending.end() && it->first < txn->tn;
+    if (!older_pending) break;
+    if (!counted_block && env_.counters != nullptr) {
+      counted_block = true;
+      env_.counters->rw_blocks.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.cv.wait(lock);
+  }
+
+  // Granted: the write stays pending until commit.
+  st.pending[txn->tn] = value;
+
+  if (creating) {
+    // Publish-then-check: with the pending visible, a range floor above
+    // tn(T) means some younger transaction already scanned this gap and
+    // must not discover a phantom — reject the creation.
+    const TxnNumber floor = RangeFloorFor(key);
+    if (floor > txn->tn) {
+      st.pending.erase(txn->tn);
+      lock.unlock();
+      shard.cv.notify_all();
+      return Status::Aborted("TO range-floor conflict creating key " +
+                             std::to_string(key));
+    }
+  }
+  txn->BufferWrite(key, std::move(value));
+  return Status::OK();
+}
+
+Result<std::vector<std::pair<ObjectKey, VersionRead>>>
+TimestampOrdering::Scan(TxnState* txn, ObjectKey lo, ObjectKey hi) {
+  {
+    // Raise the range read-floor before enumerating, so creations that
+    // miss our enumeration observe the floor instead.
+    std::lock_guard<std::mutex> guard(range_mu_);
+    const TxnNumber vtnc = env_.vc->vtnc();
+    range_floors_.erase(
+        std::remove_if(range_floors_.begin(), range_floors_.end(),
+                       [vtnc](const RangeFloor& f) {
+                         // Every current or future writer has tn > vtnc:
+                         // floors at or below it are inert.
+                         return f.max_reader <= vtnc;
+                       }),
+        range_floors_.end());
+    bool merged = false;
+    for (RangeFloor& floor : range_floors_) {
+      if (floor.lo == lo && floor.hi == hi) {
+        if (txn->tn > floor.max_reader) floor.max_reader = txn->tn;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) range_floors_.push_back(RangeFloor{lo, hi, txn->tn});
+  }
+
+  std::map<ObjectKey, VersionRead> rows;
+  for (ObjectKey key : env_.store->KeysInRange(lo, hi)) {
+    Result<VersionRead> read = Read(txn, key);
+    if (!read.ok()) {
+      if (read.status().IsNotFound()) continue;  // no version <= tn
+      return read.status();
+    }
+    rows.emplace(key, std::move(*read));
+  }
+  for (ObjectKey key : txn->write_order) {
+    if (key < lo || key > hi || rows.count(key) != 0) continue;
+    rows.emplace(key, VersionRead{kPendingVersion, txn->id,
+                                  txn->write_set[key]});
+  }
+  std::vector<std::pair<ObjectKey, VersionRead>> out;
+  out.reserve(rows.size());
+  for (auto& [key, read] : rows) out.emplace_back(key, std::move(read));
+  return out;
+}
+
+TxnNumber TimestampOrdering::RangeFloorFor(ObjectKey key) const {
+  std::lock_guard<std::mutex> guard(range_mu_);
+  TxnNumber best = 0;
+  for (const RangeFloor& floor : range_floors_) {
+    if (key >= floor.lo && key <= floor.hi &&
+        floor.max_reader > best) {
+      best = floor.max_reader;
+    }
+  }
+  return best;
+}
+
+Status TimestampOrdering::Commit(TxnState* txn) {
+  // commit(T): perform database updates, clear pending (waking blocked
+  // reads), then VCcomplete(T).
+  for (ObjectKey key : txn->write_order) {
+    MaybePauseInstall(env_);
+    Shard& shard = ShardFor(key);
+    {
+      std::lock_guard<std::mutex> guard(shard.mu);
+      KeyState& st = shard.table[key];
+      st.pending.erase(txn->tn);
+      if (txn->tn > st.committed_wts) st.committed_wts = txn->tn;
+      env_.store->GetOrCreate(key)->Install(
+          Version{txn->tn, txn->write_set[key], txn->id});
+    }
+    shard.cv.notify_all();
+  }
+  env_.vc->Complete(txn->tn);
+  return Status::OK();
+}
+
+void TimestampOrdering::Abort(TxnState* txn) {
+  for (ObjectKey key : txn->write_order) {
+    Shard& shard = ShardFor(key);
+    {
+      std::lock_guard<std::mutex> guard(shard.mu);
+      auto it = shard.table.find(key);
+      if (it != shard.table.end()) it->second.pending.erase(txn->tn);
+    }
+    shard.cv.notify_all();
+  }
+  if (txn->registered) env_.vc->Discard(txn->tn);
+}
+
+TxnNumber TimestampOrdering::ReadTimestamp(ObjectKey key) const {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  auto it = shard.table.find(key);
+  return it == shard.table.end() ? 0 : it->second.max_rts;
+}
+
+TxnNumber TimestampOrdering::WriteTimestamp(ObjectKey key) const {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  auto it = shard.table.find(key);
+  return it == shard.table.end() ? 0 : EffectiveWts(it->second);
+}
+
+size_t TimestampOrdering::PendingCount(ObjectKey key) const {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  auto it = shard.table.find(key);
+  return it == shard.table.end() ? 0 : it->second.pending.size();
+}
+
+}  // namespace mvcc

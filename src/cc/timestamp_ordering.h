@@ -1,0 +1,95 @@
+#ifndef MVCC_CC_TIMESTAMP_ORDERING_H_
+#define MVCC_CC_TIMESTAMP_ORDERING_H_
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cc/protocol.h"
+
+namespace mvcc {
+
+// Version control + timestamp ordering — Figure 3 of the paper.
+//
+// A read-write transaction is registered (and numbered) at begin, since
+// timestamp ordering fixes the serial order a priori; sn(T) = tn(T).
+//
+// Reads update r-ts(x) and return the largest version <= tn(T), blocking
+// while an older transaction has a pending write that would fall between
+// that version and tn(T). Writes are rejected (transaction aborted) when
+// r-ts(x) > tn(T) or w-ts(x) > tn(T); granted writes stay pending until
+// commit. Read-only transactions never reach this class (ReadOnlyBypass).
+class TimestampOrdering : public Protocol {
+ public:
+  explicit TimestampOrdering(ProtocolEnv env, size_t num_shards = 64);
+
+  std::string_view name() const override { return "vc-to"; }
+  bool ReadOnlyBypass() const override { return true; }
+
+  Status Begin(TxnState* txn) override;
+  Result<VersionRead> Read(TxnState* txn, ObjectKey key) override;
+  Status Write(TxnState* txn, ObjectKey key, Value value) override;
+  Status Commit(TxnState* txn) override;
+  void Abort(TxnState* txn) override;
+
+  // Read-write range scans under timestamp ordering: the scan performs a
+  // timestamped read of every existing key in range AND raises a range
+  // read-floor to tn(T); a transaction creating a NEW key inside a
+  // range whose floor exceeds its tn is rejected — the timestamp-order
+  // analog of 2PL's range locks (phantom exclusion by r-ts, applied to
+  // the gap).
+  Result<std::vector<std::pair<ObjectKey, VersionRead>>> Scan(
+      TxnState* txn, ObjectKey lo, ObjectKey hi) override;
+
+  // Test hooks.
+  TxnNumber ReadTimestamp(ObjectKey key) const;
+  TxnNumber WriteTimestamp(ObjectKey key) const;
+  size_t PendingCount(ObjectKey key) const;
+
+ private:
+  struct KeyState {
+    TxnNumber max_rts = 0;            // r-ts(x) of the most recent version
+    TxnNumber committed_wts = 0;      // largest committed w-ts(x)
+    std::map<TxnNumber, Value> pending;  // granted, uncommitted writes
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<ObjectKey, KeyState> table;
+  };
+
+  Shard& ShardFor(ObjectKey key) const {
+    return shards_[key % shards_.size()];
+  }
+
+  // w-ts(x): the largest write timestamp, pending or committed.
+  static TxnNumber EffectiveWts(const KeyState& st) {
+    TxnNumber wts = st.committed_wts;
+    if (!st.pending.empty() && st.pending.rbegin()->first > wts) {
+      wts = st.pending.rbegin()->first;
+    }
+    return wts;
+  }
+
+  // Largest tn that scanned a range containing `key`, or 0.
+  TxnNumber RangeFloorFor(ObjectKey key) const;
+
+  ProtocolEnv env_;
+  mutable std::vector<Shard> shards_;
+
+  struct RangeFloor {
+    ObjectKey lo = 0;
+    ObjectKey hi = 0;
+    TxnNumber max_reader = 0;
+  };
+  mutable std::mutex range_mu_;
+  std::vector<RangeFloor> range_floors_;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_CC_TIMESTAMP_ORDERING_H_

@@ -1,0 +1,109 @@
+#include "cc/two_phase_locking.h"
+
+#include <map>
+
+#include <string>
+#include <utility>
+
+namespace mvcc {
+
+TwoPhaseLocking::TwoPhaseLocking(ProtocolEnv env, DeadlockPolicy policy)
+    : env_(env), locks_(policy, env.counters), ranges_(env.counters) {}
+
+Status TwoPhaseLocking::Begin(TxnState* txn) {
+  // sn(T) = infinity: a read-write transaction reads the latest version.
+  txn->sn = kInfiniteTxnNumber;
+  return Status::OK();
+}
+
+Result<VersionRead> TwoPhaseLocking::Read(TxnState* txn, ObjectKey key) {
+  // Read own buffered write (uncommitted version "phi").
+  auto own = txn->write_set.find(key);
+  if (own != txn->write_set.end()) {
+    return VersionRead{kPendingVersion, txn->id, own->second};
+  }
+  Status s = locks_.Acquire(txn->id, key, LockMode::kShared);
+  if (!s.ok()) return s;
+  VersionChain* chain = env_.store->Find(key);
+  if (chain == nullptr) {
+    return Status::NotFound("key " + std::to_string(key));
+  }
+  // Holding the S lock guarantees the latest version is committed and
+  // stable until this transaction passes its lock point.
+  return chain->ReadLatest();
+}
+
+Status TwoPhaseLocking::Write(TxnState* txn, ObjectKey key, Value value) {
+  Status s = locks_.Acquire(txn->id, key, LockMode::kExclusive);
+  if (!s.ok()) return s;
+  if (env_.store->Find(key) == nullptr) {
+    // Creating a key: claim the insertion point so concurrent range
+    // scanners never see it appear mid-transaction (phantom exclusion).
+    s = ranges_.AcquireExclusivePoint(txn->id, key);
+    if (!s.ok()) return s;
+  }
+  txn->BufferWrite(key, std::move(value));
+  return Status::OK();
+}
+
+Result<std::vector<std::pair<ObjectKey, VersionRead>>>
+TwoPhaseLocking::Scan(TxnState* txn, ObjectKey lo, ObjectKey hi) {
+  Status s = ranges_.AcquireShared(txn->id, lo, hi);
+  if (!s.ok()) return s;
+
+  // Existing keys from the index, merged with the transaction's own
+  // buffered writes that fall in range (including keys it is creating).
+  std::map<ObjectKey, VersionRead> rows;
+  for (ObjectKey key : env_.store->KeysInRange(lo, hi)) {
+    auto own = txn->write_set.find(key);
+    if (own != txn->write_set.end()) {
+      rows.emplace(key,
+                   VersionRead{kPendingVersion, txn->id, own->second});
+      continue;
+    }
+    s = locks_.Acquire(txn->id, key, LockMode::kShared);
+    if (!s.ok()) return s;
+    VersionChain* chain = env_.store->Find(key);
+    if (chain == nullptr) continue;
+    Result<VersionRead> read = chain->ReadLatest();
+    if (!read.ok()) continue;  // empty chain: not yet materialized
+    rows.emplace(key, std::move(*read));
+  }
+  for (ObjectKey key : txn->write_order) {
+    if (key < lo || key > hi || rows.count(key) != 0) continue;
+    rows.emplace(key, VersionRead{kPendingVersion, txn->id,
+                                  txn->write_set[key]});
+  }
+  std::vector<std::pair<ObjectKey, VersionRead>> out;
+  out.reserve(rows.size());
+  for (auto& [key, read] : rows) out.emplace_back(key, std::move(read));
+  return out;
+}
+
+Status TwoPhaseLocking::Commit(TxnState* txn) {
+  // end(T), Figure 4. The transaction is past its lock point: its serial
+  // position is now fixed, so register with version control.
+  txn->tn = env_.vc->Register(txn->id);
+  txn->registered = true;
+  // Perform database updates with version number tn(T).
+  for (ObjectKey key : txn->write_order) {
+    MaybePauseInstall(env_);
+    env_.store->GetOrCreate(key)->Install(
+        Version{txn->tn, txn->write_set[key], txn->id});
+  }
+  // Clear locks, then make the updates visible in serial order.
+  locks_.ReleaseAll(txn->id);
+  ranges_.ReleaseAll(txn->id);
+  env_.vc->Complete(txn->tn);
+  return Status::OK();
+}
+
+void TwoPhaseLocking::Abort(TxnState* txn) {
+  // Versions created by an aborted transaction are destroyed — they were
+  // never installed, only buffered, so dropping the write set suffices.
+  locks_.ReleaseAll(txn->id);
+  ranges_.ReleaseAll(txn->id);
+  if (txn->registered) env_.vc->Discard(txn->tn);
+}
+
+}  // namespace mvcc

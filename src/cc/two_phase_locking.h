@@ -1,0 +1,53 @@
+#ifndef MVCC_CC_TWO_PHASE_LOCKING_H_
+#define MVCC_CC_TWO_PHASE_LOCKING_H_
+
+#include <string_view>
+
+#include "cc/lock_manager.h"
+#include "cc/protocol.h"
+#include "cc/range_lock_table.h"
+
+namespace mvcc {
+
+// Version control + strict two-phase locking — Figure 4 of the paper.
+//
+// Read-write transactions take shared/exclusive locks and always read the
+// latest committed version (sn = infinity "for uniformity"). Writes buffer
+// an uncommitted version ("phi"). At end(T):
+//   VCregister(T)  -> tn(T) assigned at the lock point,
+//   install buffered versions numbered tn(T),
+//   clear locks,
+//   VCcomplete(T).
+// Read-only transactions never reach this class (ReadOnlyBypass).
+class TwoPhaseLocking : public Protocol {
+ public:
+  TwoPhaseLocking(ProtocolEnv env, DeadlockPolicy policy);
+
+  std::string_view name() const override { return "vc-2pl"; }
+  bool ReadOnlyBypass() const override { return true; }
+
+  Status Begin(TxnState* txn) override;
+  Result<VersionRead> Read(TxnState* txn, ObjectKey key) override;
+  Status Write(TxnState* txn, ObjectKey key, Value value) override;
+  Status Commit(TxnState* txn) override;
+  void Abort(TxnState* txn) override;
+
+  // Read-write range scans: the scanner claims [lo, hi] in the range
+  // lock table (shared); creators of new keys claim their insertion
+  // point (exclusive); so no phantom can appear inside a scanned range
+  // before the scanner commits.
+  Result<std::vector<std::pair<ObjectKey, VersionRead>>> Scan(
+      TxnState* txn, ObjectKey lo, ObjectKey hi) override;
+
+  LockManager& lock_manager() { return locks_; }
+  RangeLockTable& range_locks() { return ranges_; }
+
+ private:
+  ProtocolEnv env_;
+  LockManager locks_;
+  RangeLockTable ranges_;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_CC_TWO_PHASE_LOCKING_H_

@@ -1,0 +1,20 @@
+#ifndef MVCC_COMMON_CHECK_H_
+#define MVCC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Always-on invariant check (unlike assert, which NDEBUG builds compile
+// out). Used for invariants whose violation means corrupted
+// synchronization state — continuing would silently return wrong data,
+// so the process stops instead.
+#define MVCC_CHECK(condition)                                             \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      std::fprintf(stderr, "MVCC_CHECK failed: %s at %s:%d\n",            \
+                   #condition, __FILE__, __LINE__);                       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#endif  // MVCC_COMMON_CHECK_H_

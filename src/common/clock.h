@@ -1,0 +1,32 @@
+#ifndef MVCC_COMMON_CLOCK_H_
+#define MVCC_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace mvcc {
+
+// Monotonic nanosecond clock for latency measurement.
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Scoped stopwatch: accumulates elapsed nanoseconds into *sink.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(int64_t* sink) : sink_(sink), start_(NowNanos()) {}
+  ~ScopedTimer() { *sink_ += NowNanos() - start_; }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  int64_t* sink_;
+  int64_t start_;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_COMMON_CLOCK_H_

@@ -1,0 +1,80 @@
+#ifndef MVCC_COMMON_COUNTERS_H_
+#define MVCC_COMMON_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace mvcc {
+
+// Global event counters, incremented by protocols as synchronization events
+// happen. These are the measured quantities behind the paper's comparative
+// claims: which protocols make read-only transactions block, abort, write
+// metadata, or kill read-write transactions.
+struct EventCounters {
+  // Commits / aborts by class.
+  std::atomic<uint64_t> ro_commits{0};
+  std::atomic<uint64_t> rw_commits{0};
+  std::atomic<uint64_t> ro_aborts{0};
+  std::atomic<uint64_t> rw_aborts{0};
+
+  // Blocking events (a request had to wait for another transaction).
+  std::atomic<uint64_t> ro_blocks{0};
+  std::atomic<uint64_t> rw_blocks{0};
+
+  // Read-write aborts whose direct cause was a read-only transaction
+  // (e.g. MVTO write rejection due to an r-ts set by a reader).
+  std::atomic<uint64_t> rw_aborts_caused_by_ro{0};
+
+  // Metadata mutations performed on behalf of read-only transactions
+  // (r-ts updates in MVTO — the "concurrency control overhead" of Sec. 2).
+  std::atomic<uint64_t> ro_metadata_writes{0};
+
+  // Completed-transaction-list entries copied at read-only begin
+  // (MV2PL-CTL) — the begin-time overhead the paper calls cumbersome.
+  std::atomic<uint64_t> ctl_entries_copied{0};
+
+  // Negotiation rounds executed by read-only transactions (Weihl-style
+  // timestamps-and-initiation rendition).
+  std::atomic<uint64_t> negotiation_rounds{0};
+
+  // Deadlock victims (subset of rw_aborts under locking protocols).
+  std::atomic<uint64_t> deadlock_aborts{0};
+
+  // Plain-value snapshot for reporting.
+  struct Snapshot {
+    uint64_t ro_commits, rw_commits, ro_aborts, rw_aborts;
+    uint64_t ro_blocks, rw_blocks;
+    uint64_t rw_aborts_caused_by_ro;
+    uint64_t ro_metadata_writes;
+    uint64_t ctl_entries_copied;
+    uint64_t negotiation_rounds;
+    uint64_t deadlock_aborts;
+  };
+
+  Snapshot Snap() const {
+    return Snapshot{
+        ro_commits.load(),  rw_commits.load(), ro_aborts.load(),
+        rw_aborts.load(),   ro_blocks.load(),  rw_blocks.load(),
+        rw_aborts_caused_by_ro.load(),         ro_metadata_writes.load(),
+        ctl_entries_copied.load(),             negotiation_rounds.load(),
+        deadlock_aborts.load()};
+  }
+
+  void Reset() {
+    ro_commits = 0;
+    rw_commits = 0;
+    ro_aborts = 0;
+    rw_aborts = 0;
+    ro_blocks = 0;
+    rw_blocks = 0;
+    rw_aborts_caused_by_ro = 0;
+    ro_metadata_writes = 0;
+    ctl_entries_copied = 0;
+    negotiation_rounds = 0;
+    deadlock_aborts = 0;
+  }
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_COMMON_COUNTERS_H_

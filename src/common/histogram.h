@@ -1,0 +1,83 @@
+#ifndef MVCC_COMMON_HISTOGRAM_H_
+#define MVCC_COMMON_HISTOGRAM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace mvcc {
+
+// Fixed-layout log-scale histogram for latency samples (nanoseconds).
+// Not thread-safe; each worker keeps its own and merges at the end.
+class Histogram {
+ public:
+  Histogram() : buckets_(kNumBuckets, 0) {}
+
+  void Add(int64_t value_ns) {
+    if (value_ns < 0) value_ns = 0;
+    ++count_;
+    sum_ += value_ns;
+    max_ = std::max(max_, value_ns);
+    min_ = count_ == 1 ? value_ns : std::min(min_, value_ns);
+    ++buckets_[BucketFor(value_ns)];
+  }
+
+  void Merge(const Histogram& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+    min_ = std::min(min_, other.min_);
+    for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  }
+
+  int64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return max_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+  }
+
+  // Approximate quantile (q in [0,1]) from bucket boundaries.
+  int64_t Percentile(double q) const {
+    if (count_ == 0) return 0;
+    int64_t target = static_cast<int64_t>(q * static_cast<double>(count_));
+    if (target >= count_) target = count_ - 1;
+    int64_t seen = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      seen += buckets_[i];
+      // Bucket bounds are powers of two; never report beyond the true max.
+      if (seen > target) return std::min(BucketUpperBound(i), max_);
+    }
+    return max_;
+  }
+
+ private:
+  // Buckets: [0,1), [1,2), [2,4), [4,8)... powers of two up to ~2^62 ns.
+  static constexpr int kNumBuckets = 64;
+
+  static int BucketFor(int64_t v) {
+    if (v <= 0) return 0;
+    const int bits = 64 - __builtin_clzll(static_cast<uint64_t>(v));
+    return bits >= kNumBuckets ? kNumBuckets - 1 : bits;
+  }
+
+  static int64_t BucketUpperBound(int bucket) {
+    if (bucket >= 63) return INT64_MAX;
+    return int64_t{1} << bucket;
+  }
+
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_COMMON_HISTOGRAM_H_

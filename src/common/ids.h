@@ -1,0 +1,54 @@
+#ifndef MVCC_COMMON_IDS_H_
+#define MVCC_COMMON_IDS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace mvcc {
+
+// Identifier of a database object (a logical data item `x` in the paper).
+using ObjectKey = uint64_t;
+
+// Value stored in a version. Strings keep the store general; benchmarks use
+// short payloads so version-chain manipulation dominates, as intended.
+using Value = std::string;
+
+// Internal identifier of a transaction instance, assigned at begin().
+// Distinct from the transaction number tn(T), which reflects serial order
+// and is assigned by the version control module at registration time.
+using TxnId = uint64_t;
+
+// Transaction number / start number domain. tn(T) for read-write
+// transactions; sn(T) for read-only transactions. Monotone, dense for
+// read-write transactions (assigned from tnc).
+using TxnNumber = uint64_t;
+
+// Version number of an object version. Equals the tn of its creator.
+using VersionNumber = uint64_t;
+
+inline constexpr TxnNumber kInvalidTxnNumber = 0;
+
+// sn(T) = infinity for read-write transactions under two-phase locking
+// ("for uniformity", Figure 4): they always read the latest version.
+inline constexpr TxnNumber kInfiniteTxnNumber =
+    std::numeric_limits<TxnNumber>::max();
+
+// Version number of a pending (uncommitted) version under 2PL before the
+// writer is registered — the paper's version "phi" in Figure 4.
+inline constexpr VersionNumber kPendingVersion = kInfiniteTxnNumber;
+
+// Transaction classification, Section 4.1 of the paper. A transaction whose
+// class is unknown a priori must be treated as read-write.
+enum class TxnClass {
+  kReadOnly,
+  kReadWrite,
+};
+
+inline const char* TxnClassName(TxnClass c) {
+  return c == TxnClass::kReadOnly ? "read-only" : "read-write";
+}
+
+}  // namespace mvcc
+
+#endif  // MVCC_COMMON_IDS_H_

@@ -1,0 +1,44 @@
+#ifndef MVCC_COMMON_LATCH_H_
+#define MVCC_COMMON_LATCH_H_
+
+#include <atomic>
+#include <thread>
+
+namespace mvcc {
+
+// Minimal test-and-test-and-set spinlock for short critical sections
+// (version-chain manipulation, counter updates). Satisfies the C++
+// Lockable requirements so it composes with std::lock_guard.
+class SpinLatch {
+ public:
+  SpinLatch() = default;
+  SpinLatch(const SpinLatch&) = delete;
+  SpinLatch& operator=(const SpinLatch&) = delete;
+
+  void lock() {
+    int spins = 0;
+    while (true) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+        if (++spins > kSpinLimit) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+  bool try_lock() {
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  static constexpr int kSpinLimit = 1024;
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_COMMON_LATCH_H_

@@ -1,0 +1,46 @@
+#ifndef MVCC_COMMON_THREAD_POOL_H_
+#define MVCC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mvcc {
+
+// Fixed-size worker pool used by the workload runner and the distributed
+// simulation's asynchronous message delivery. Tasks are plain closures;
+// Wait() blocks until the queue drains and all in-flight tasks finish.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  // Blocks until all submitted tasks have completed.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_COMMON_THREAD_POOL_H_

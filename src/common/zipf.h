@@ -1,0 +1,63 @@
+#ifndef MVCC_COMMON_ZIPF_H_
+#define MVCC_COMMON_ZIPF_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace mvcc {
+
+// Zipfian distribution over [0, n) with skew theta, using the Gray et al.
+// rejection-free method (as popularized by YCSB). theta = 0 degenerates to
+// uniform. Construction is O(n)-free: only the harmonic constants are
+// precomputed.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+    if (theta_ <= 0.0) {
+      uniform_ = true;
+      return;
+    }
+    alpha_ = 1.0 / (1.0 - theta_);
+    zetan_ = Zeta(n_, theta_);
+    const double zeta2 = Zeta(2, theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  uint64_t Next(Random* rng) const {
+    if (uniform_) return rng->Uniform(n_);
+    const double u = rng->NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const uint64_t v = static_cast<uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return v >= n_ ? n_ - 1 : v;
+  }
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  bool uniform_ = false;
+  double alpha_ = 0.0;
+  double zetan_ = 0.0;
+  double eta_ = 0.0;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_COMMON_ZIPF_H_

@@ -1,0 +1,56 @@
+#include "dist/coordinator.h"
+
+#include <algorithm>
+
+namespace mvcc {
+
+Status TwoPhaseCommitCoordinator::CommitTransaction(
+    TxnId txn, uint32_t tiebreak, const std::vector<Site*>& participants,
+    TxnNumber* global_tn) {
+  // Phase 1: collect proposals. Every participant is past its local lock
+  // point; PREPARE cannot be refused in this in-memory setting (no media
+  // failures), so the vote is always "yes" and carries the proposal.
+  std::vector<TxnNumber> proposals;
+  proposals.reserve(participants.size());
+  TxnNumber agreed = 0;
+  for (size_t i = 0; i < participants.size(); ++i) {
+    Site* site = participants[i];
+    network_->Send(MessageType::kPrepare, coordinator_site_, site->id());
+    Result<TxnNumber> proposed = site->Prepare(txn, tiebreak);
+    if (!proposed.ok()) {
+      // A participant voted no (e.g. it is down): roll back everywhere.
+      // Already-prepared sites discard their registration; the failed and
+      // unprepared sites only drop buffered state and locks.
+      for (size_t j = 0; j < participants.size(); ++j) {
+        network_->Send(MessageType::kAbort, coordinator_site_,
+                       participants[j]->id());
+        participants[j]->Abort(
+            txn, j < i ? proposals[j] : kInvalidTxnNumber);
+      }
+      return Status::Aborted("2PC prepare failed at site " +
+                             std::to_string(site->id()) + ": " +
+                             proposed.status().ToString());
+    }
+    proposals.push_back(*proposed);
+    agreed = std::max(agreed, *proposed);
+  }
+
+  // Phase 2: commit at the agreed (maximum) number everywhere.
+  for (size_t i = 0; i < participants.size(); ++i) {
+    network_->Send(MessageType::kCommit, coordinator_site_,
+                   participants[i]->id());
+    participants[i]->Commit(txn, proposals[i], agreed);
+  }
+  *global_tn = agreed;
+  return Status::OK();
+}
+
+void TwoPhaseCommitCoordinator::AbortTransaction(
+    TxnId txn, const std::vector<Site*>& participants) {
+  for (Site* site : participants) {
+    network_->Send(MessageType::kAbort, coordinator_site_, site->id());
+    site->Abort(txn, kInvalidTxnNumber);
+  }
+}
+
+}  // namespace mvcc

@@ -1,0 +1,44 @@
+#ifndef MVCC_DIST_COORDINATOR_H_
+#define MVCC_DIST_COORDINATOR_H_
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "dist/network.h"
+#include "dist/site.h"
+
+namespace mvcc {
+
+// Two-phase commit coordinator for a distributed read-write transaction,
+// extended with transaction-number agreement: each participant's PREPARE
+// response proposes a local transaction number; the agreed global number
+// is the maximum of the proposals, and each participant promotes its
+// registration to it during phase 2. Because every conflicting
+// transaction at a site must wait for this one's locks, and Promote()
+// pushes the site counter past the agreed number, later conflicting
+// transactions always propose (and agree on) larger numbers — global tn
+// order extends every local conflict order.
+class TwoPhaseCommitCoordinator {
+ public:
+  TwoPhaseCommitCoordinator(SimulatedNetwork* network, int coordinator_site)
+      : network_(network), coordinator_site_(coordinator_site) {}
+
+  // Runs both phases across `participants`. On success returns OK and
+  // sets *global_tn. On failure every participant has been told to abort.
+  Status CommitTransaction(TxnId txn, uint32_t tiebreak,
+                           const std::vector<Site*>& participants,
+                           TxnNumber* global_tn);
+
+  // Aborts at every participant (used for user aborts and operation
+  // failures before commit).
+  void AbortTransaction(TxnId txn, const std::vector<Site*>& participants);
+
+ private:
+  SimulatedNetwork* network_;
+  int coordinator_site_;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_DIST_COORDINATOR_H_

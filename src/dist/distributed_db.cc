@@ -1,0 +1,187 @@
+#include "dist/distributed_db.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mvcc {
+
+DistributedDb::DistributedDb(Options options) : options_(options),
+                                                network_(options.network_delay_ns) {
+  const int n = std::max(options_.num_sites, 1);
+  sites_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    sites_.push_back(std::make_unique<Site>(i, &counters_));
+  }
+  for (uint64_t key = 0; key < options_.preload_keys; ++key) {
+    sites_[SiteOf(key)]->Preload(key, options_.initial_value);
+  }
+}
+
+std::unique_ptr<DistTransaction> DistributedDb::Begin(TxnClass cls,
+                                                      int home_site) {
+  const TxnId id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  auto txn = std::unique_ptr<DistTransaction>(
+      new DistTransaction(this, id, cls, home_site));
+  if (cls == TxnClass::kReadOnly) {
+    // One start number from the home site; nothing else, ever.
+    txn->sn_ = sites_[home_site]->StartReadOnly();
+  }
+  return txn;
+}
+
+size_t DistributedDb::RunGc() {
+  size_t reclaimed = 0;
+  for (auto& site : sites_) reclaimed += site->RunGc();
+  return reclaimed;
+}
+
+size_t DistributedDb::TotalVersions() {
+  size_t total = 0;
+  for (auto& site : sites_) total += site->store().TotalVersions();
+  return total;
+}
+
+DistTransaction::DistTransaction(DistributedDb* db, TxnId id, TxnClass cls,
+                                 int home_site)
+    : db_(db), id_(id), cls_(cls), home_site_(home_site) {}
+
+DistTransaction::~DistTransaction() {
+  if (!finished_) Abort();
+}
+
+Result<Value> DistTransaction::Read(ObjectKey key) {
+  if (finished_) {
+    return Status::InvalidArgument("transaction already finished");
+  }
+  const int target = db_->SiteOf(key);
+  Site& site = db_->site(target);
+
+  if (cls_ == TxnClass::kReadOnly) {
+    db_->network_.Send(MessageType::kSnapshotRead, home_site_, target);
+    Result<VersionRead> read = site.SnapshotRead(sn_, key);
+    if (!read.ok()) return read.status();
+    reads_.push_back(ReadEntry{key, read->version, read->writer});
+    return std::move(read->value);
+  }
+
+  db_->network_.Send(MessageType::kRemoteRead, home_site_, target);
+  Result<VersionRead> read = site.Read(id_, key);
+  if (!read.ok()) {
+    if (read.status().IsAborted()) Abort();
+    return read.status();
+  }
+  if (std::find(participants_.begin(), participants_.end(), &site) ==
+      participants_.end()) {
+    participants_.push_back(&site);
+  }
+  if (read->version != kPendingVersion) {
+    reads_.push_back(ReadEntry{key, read->version, read->writer});
+  }
+  return std::move(read->value);
+}
+
+Result<std::vector<std::pair<ObjectKey, Value>>> DistTransaction::Scan(
+    ObjectKey lo, ObjectKey hi) {
+  if (finished_) {
+    return Status::InvalidArgument("transaction already finished");
+  }
+  if (cls_ != TxnClass::kReadOnly) {
+    return Status::InvalidArgument(
+        "distributed range scans are read-only only");
+  }
+  std::vector<std::pair<ObjectKey, Value>> merged;
+  for (int s = 0; s < db_->num_sites(); ++s) {
+    db_->network_.Send(MessageType::kSnapshotRead, home_site_, s);
+    auto rows = db_->site(s).SnapshotScan(sn_, lo, hi);
+    if (!rows.ok()) return rows.status();
+    for (auto& [key, read] : *rows) {
+      reads_.push_back(ReadEntry{key, read.version, read.writer});
+      merged.emplace_back(key, std::move(read.value));
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return merged;
+}
+
+Status DistTransaction::Write(ObjectKey key, Value value) {
+  if (finished_) {
+    return Status::InvalidArgument("transaction already finished");
+  }
+  if (cls_ == TxnClass::kReadOnly) {
+    return Status::InvalidArgument(
+        "write issued by a read-only transaction");
+  }
+  const int target = db_->SiteOf(key);
+  Site& site = db_->site(target);
+  db_->network_.Send(MessageType::kRemoteWrite, home_site_, target);
+  Status s = site.Write(id_, key, std::move(value));
+  if (!s.ok()) {
+    if (s.IsAborted()) Abort();
+    return s;
+  }
+  if (std::find(participants_.begin(), participants_.end(), &site) ==
+      participants_.end()) {
+    participants_.push_back(&site);
+  }
+  if (std::find(write_keys_.begin(), write_keys_.end(), key) ==
+      write_keys_.end()) {
+    write_keys_.push_back(key);
+  }
+  return Status::OK();
+}
+
+Status DistTransaction::Commit() {
+  if (finished_) {
+    return Status::InvalidArgument("transaction already finished");
+  }
+  finished_ = true;
+  if (cls_ == TxnClass::kReadOnly) {
+    // end(T) = phi: zero messages, zero synchronization.
+    db_->counters_.ro_commits.fetch_add(1, std::memory_order_relaxed);
+    RecordHistory();
+    return Status::OK();
+  }
+  TwoPhaseCommitCoordinator coordinator(&db_->network_, home_site_);
+  const uint32_t tiebreak = static_cast<uint32_t>(id_);
+  Status s = coordinator.CommitTransaction(id_, tiebreak, participants_,
+                                           &global_tn_);
+  if (!s.ok()) {
+    db_->counters_.rw_aborts.fetch_add(1, std::memory_order_relaxed);
+    return s;
+  }
+  db_->counters_.rw_commits.fetch_add(1, std::memory_order_relaxed);
+  RecordHistory();
+  return Status::OK();
+}
+
+void DistTransaction::Abort() {
+  if (finished_) return;
+  finished_ = true;
+  if (cls_ == TxnClass::kReadOnly) {
+    db_->counters_.ro_aborts.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TwoPhaseCommitCoordinator coordinator(&db_->network_, home_site_);
+  coordinator.AbortTransaction(id_, participants_);
+  db_->counters_.rw_aborts.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DistTransaction::RecordHistory() {
+  if (db_->history() == nullptr) return;
+  TxnRecord record;
+  record.id = id_;
+  record.cls = cls_;
+  record.number = txn_number();
+  record.reads.reserve(reads_.size());
+  for (const ReadEntry& r : reads_) {
+    record.reads.push_back(RecordedRead{r.key, r.version, r.writer});
+  }
+  record.writes.reserve(write_keys_.size());
+  for (ObjectKey key : write_keys_) {
+    record.writes.push_back(RecordedWrite{key, global_tn_});
+  }
+  db_->history_.Record(std::move(record));
+}
+
+}  // namespace mvcc

@@ -1,0 +1,29 @@
+#include "dist/network.h"
+
+#include "common/clock.h"
+
+namespace mvcc {
+
+void SimulatedNetwork::Send(MessageType type, int from_site, int to_site) {
+  if (from_site == to_site) return;
+  counts_[static_cast<size_t>(type)].fetch_add(1, std::memory_order_relaxed);
+  if (delay_ns_ > 0) {
+    const int64_t until = NowNanos() + delay_ns_;
+    while (NowNanos() < until) {
+      // Busy-wait: delays are sub-millisecond and we want to model
+      // latency without descheduling storms in the benchmark.
+    }
+  }
+}
+
+uint64_t SimulatedNetwork::Total() const {
+  uint64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+void SimulatedNetwork::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace mvcc

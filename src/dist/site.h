@@ -1,0 +1,130 @@
+#ifndef MVCC_DIST_SITE_H_
+#define MVCC_DIST_SITE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cc/lock_manager.h"
+#include "common/counters.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "gc/garbage_collector.h"
+#include "gc/reader_registry.h"
+#include "storage/object_store.h"
+#include "vc/version_control.h"
+
+namespace mvcc {
+
+// One database site in the distributed extension (Section 6): its own
+// partition of the object store, its own lock manager for read-write
+// transactions, and — crucially — its own version control module with its
+// own tnc/vtnc/VCQueue, in site-tagged numbering mode.
+//
+// Read-write transactions run strict 2PL locally and two-phase commit
+// globally; the PREPARE response carries a proposed transaction number
+// (a local VCregister), and the COMMIT request carries the agreed global
+// number (max of all proposals), to which the local registration is
+// promoted. Read-only transactions touch a site only through
+// SnapshotRead().
+class Site {
+ public:
+  Site(int site_id, EventCounters* counters);
+  Site(const Site&) = delete;
+  Site& operator=(const Site&) = delete;
+
+  int id() const { return site_id_; }
+
+  // Fault injection: a "down" site refuses new work with kUnavailable.
+  // In-flight local state is kept so the coordinator's abort can clean
+  // up after the site "recovers" (tests flip this around 2PC phases).
+  void SetDown(bool down) { down_.store(down, std::memory_order_release); }
+  bool IsDown() const { return down_.load(std::memory_order_acquire); }
+
+  // Loads `key` with an initial version (number 0, writer T0).
+  void Preload(ObjectKey key, const Value& initial_value);
+
+  // ---- Read-write transaction participant interface ----
+
+  // Acquires a shared lock and returns the latest committed version.
+  Result<VersionRead> Read(TxnId txn, ObjectKey key);
+
+  // Acquires an exclusive lock and buffers the write.
+  Status Write(TxnId txn, ObjectKey key, Value value);
+
+  // 2PC phase 1: past the local lock point — register with local version
+  // control and return the proposed transaction number.
+  Result<TxnNumber> Prepare(TxnId txn, uint32_t tiebreak);
+
+  // 2PC phase 2: promote the proposal to the agreed `global_tn`, install
+  // the buffered writes, release locks, and complete.
+  void Commit(TxnId txn, TxnNumber proposed, TxnNumber global_tn);
+
+  // Aborts the local participation (drops buffered writes, releases
+  // locks, discards any registration).
+  void Abort(TxnId txn, TxnNumber proposed_or_zero);
+
+  // ---- Read-only transaction interface ----
+
+  // Returns this site's vtnc: the start number handed to a read-only
+  // transaction whose home is this site.
+  TxnNumber StartReadOnly() const { return vc_.Start(); }
+
+  // Reads the largest version of `key` <= sn, after (a) pushing the local
+  // number counter past sn so no future local registration can undercut
+  // the snapshot, and (b) waiting out registered-but-incomplete local
+  // transactions with numbers <= sn. (a) is a counter bump and (b) can
+  // only wait on transactions already in their commit phase, so this adds
+  // no concurrency control — the read still cannot deadlock or abort.
+  //
+  // The read pins `sn` in this site's reader registry for its duration,
+  // so local garbage collection cannot prune the snapshot out from under
+  // it. If GC already advanced past sn before the reader arrived, the
+  // version may be gone: the read then reports Unavailable ("snapshot too
+  // old") — the one failure mode the paper concedes for read-only
+  // transactions ("barring the unavailability of an appropriate version
+  // ... due to garbage collection", Section 4.2).
+  Result<VersionRead> SnapshotRead(TxnNumber sn, ObjectKey key);
+
+  // Snapshot range scan of this site's partition at `sn`: every local
+  // key in [lo, hi] with a version visible at sn. Same pinning and
+  // "snapshot too old" semantics as SnapshotRead; the whole scan is
+  // pinned once.
+  Result<std::vector<std::pair<ObjectKey, VersionRead>>> SnapshotScan(
+      TxnNumber sn, ObjectKey lo, ObjectKey hi);
+
+  // Local garbage collection under the distributed watermark:
+  // min(local vtnc, oldest snapshot currently pinned here). Returns
+  // versions reclaimed.
+  size_t RunGc();
+
+  ObjectStore& store() { return store_; }
+  VersionControl& version_control() { return vc_; }
+  LockManager& locks() { return locks_; }
+  ReaderRegistry& readers() { return readers_; }
+
+ private:
+  struct Buffered {
+    std::unordered_map<ObjectKey, Value> writes;
+    std::vector<ObjectKey> order;
+  };
+
+  const int site_id_;
+  std::atomic<bool> down_{false};
+  // Highest pruning watermark any collection pass has used; snapshots
+  // below it may be incomplete and are refused (post-checked).
+  std::atomic<VersionNumber> gc_floor_{0};
+  ReaderRegistry readers_;
+  ObjectStore store_;
+  VersionControl vc_;
+  LockManager locks_;
+
+  std::mutex buffered_mu_;
+  std::unordered_map<TxnId, Buffered> buffered_;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_DIST_SITE_H_

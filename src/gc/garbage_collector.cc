@@ -1,0 +1,58 @@
+#include "gc/garbage_collector.h"
+
+#include <algorithm>
+
+namespace mvcc {
+
+GarbageCollector::GarbageCollector(ObjectStore* store, VersionControl* vc,
+                                   ReaderRegistry* readers)
+    : store_(store), vc_(vc), readers_(readers) {}
+
+GarbageCollector::~GarbageCollector() { Stop(); }
+
+void GarbageCollector::Start(std::chrono::milliseconds interval) {
+  Stop();
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    stop_ = false;
+  }
+  thread_ = std::thread([this, interval] { Loop(interval); });
+}
+
+void GarbageCollector::Stop() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+size_t GarbageCollector::RunOnce() {
+  const size_t reclaimed = store_->PruneAll(Watermark());
+  total_reclaimed_.fetch_add(reclaimed, std::memory_order_relaxed);
+  passes_.fetch_add(1, std::memory_order_relaxed);
+  return reclaimed;
+}
+
+VersionNumber GarbageCollector::Watermark() const {
+  VersionNumber watermark = vc_->vtnc();
+  if (readers_ != nullptr) {
+    if (auto min_reader = readers_->MinActive()) {
+      watermark = std::min(watermark, *min_reader);
+    }
+  }
+  return watermark;
+}
+
+void GarbageCollector::Loop(std::chrono::milliseconds interval) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    lock.unlock();
+    RunOnce();
+    lock.lock();
+    cv_.wait_for(lock, interval, [this] { return stop_; });
+  }
+}
+
+}  // namespace mvcc

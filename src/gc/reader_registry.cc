@@ -1,0 +1,3 @@
+#include "gc/reader_registry.h"
+
+// Header-only; this translation unit anchors the target in the build.

@@ -1,0 +1,53 @@
+#ifndef MVCC_GC_READER_REGISTRY_H_
+#define MVCC_GC_READER_REGISTRY_H_
+
+#include <mutex>
+#include <optional>
+#include <set>
+
+#include "common/ids.h"
+
+namespace mvcc {
+
+// Tracks the start numbers of active read-only transactions so the
+// garbage collector can compute a safe pruning watermark (Section 6: "the
+// garbage collection algorithm ... keeps the information about read-only
+// transactions"). Read-write transactions are irrelevant: under the VC
+// protocols they read only the latest version.
+class ReaderRegistry {
+ public:
+  ReaderRegistry() = default;
+  ReaderRegistry(const ReaderRegistry&) = delete;
+  ReaderRegistry& operator=(const ReaderRegistry&) = delete;
+
+  void Enter(TxnNumber sn) {
+    std::lock_guard<std::mutex> guard(mu_);
+    active_.insert(sn);
+  }
+
+  void Exit(TxnNumber sn) {
+    std::lock_guard<std::mutex> guard(mu_);
+    auto it = active_.find(sn);
+    if (it != active_.end()) active_.erase(it);
+  }
+
+  // Smallest start number among active read-only transactions, if any.
+  std::optional<TxnNumber> MinActive() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (active_.empty()) return std::nullopt;
+    return *active_.begin();
+  }
+
+  size_t ActiveCount() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return active_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::multiset<TxnNumber> active_;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_GC_READER_REGISTRY_H_

@@ -1,0 +1,29 @@
+#include "history/history.h"
+
+#include <utility>
+
+namespace mvcc {
+
+void History::Record(TxnRecord record) {
+  std::lock_guard<std::mutex> guard(mu_);
+  records_.push_back(std::move(record));
+}
+
+std::vector<TxnRecord> History::Records() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return records_;
+}
+
+size_t History::size() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return records_.size();
+}
+
+void History::Merge(const History& other) {
+  std::vector<TxnRecord> theirs = other.Records();
+  std::lock_guard<std::mutex> guard(mu_);
+  records_.insert(records_.end(), std::make_move_iterator(theirs.begin()),
+                  std::make_move_iterator(theirs.end()));
+}
+
+}  // namespace mvcc

@@ -1,0 +1,67 @@
+#ifndef MVCC_HISTORY_HISTORY_H_
+#define MVCC_HISTORY_HISTORY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace mvcc {
+
+// One read operation r_i[x_j] as recorded in a multiversion history:
+// transaction i read the version of x created by the transaction whose
+// number is `version` (== tn of the writer; 0 for the initial load T0).
+struct RecordedRead {
+  ObjectKey key;
+  VersionNumber version;
+  TxnId writer;
+};
+
+// One write operation w_i[x_i]: the version installed carries the writer's
+// transaction number.
+struct RecordedWrite {
+  ObjectKey key;
+  VersionNumber version;
+};
+
+// Everything the MVSG needs to know about one committed transaction.
+struct TxnRecord {
+  TxnId id = 0;
+  TxnClass cls = TxnClass::kReadWrite;
+  // tn(T) for read-write transactions; sn(T) for read-only transactions
+  // (several read-only transactions may share a number — Lemma 1 applies
+  // to read-write transactions only).
+  TxnNumber number = kInvalidTxnNumber;
+  std::vector<RecordedRead> reads;
+  std::vector<RecordedWrite> writes;
+};
+
+// Thread-safe log of committed transactions, in commit-record order.
+// Aborted transactions are not recorded: by the model (Section 3) their
+// versions are destroyed and they do not appear in the history.
+class History {
+ public:
+  History() = default;
+  History(const History&) = delete;
+  History& operator=(const History&) = delete;
+
+  void Record(TxnRecord record);
+
+  // Snapshot of all records so far.
+  std::vector<TxnRecord> Records() const;
+
+  size_t size() const;
+
+  // Merges another history's records (used by the distributed layer to
+  // assemble a global history from per-site logs).
+  void Merge(const History& other);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TxnRecord> records_;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_HISTORY_HISTORY_H_

@@ -1,0 +1,127 @@
+#include "history/mvsg.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mvcc {
+
+namespace {
+
+struct WriteRef {
+  VersionNumber version;
+  TxnId writer;
+  bool operator<(const WriteRef& other) const {
+    return version < other.version;
+  }
+};
+
+}  // namespace
+
+Mvsg::Mvsg(const std::vector<TxnRecord>& records) {
+  // Ensure every committed transaction (and T0) appears as a node even if
+  // it ends up with no edges.
+  adjacency_[0];  // T0
+  for (const TxnRecord& rec : records) adjacency_[rec.id];
+
+  // Collect the writers of each object, plus the implicit initial version
+  // (number 0 by T0) for any object that was read at version 0.
+  std::map<ObjectKey, std::vector<WriteRef>> writes_by_key;
+  for (const TxnRecord& rec : records) {
+    for (const RecordedWrite& w : rec.writes) {
+      writes_by_key[w.key].push_back(WriteRef{w.version, rec.id});
+    }
+  }
+  for (const TxnRecord& rec : records) {
+    for (const RecordedRead& r : rec.reads) {
+      if (r.writer == 0) {
+        writes_by_key[r.key].push_back(WriteRef{r.version, 0});
+      }
+    }
+  }
+
+  for (auto& [key, writes] : writes_by_key) {
+    std::sort(writes.begin(), writes.end());
+    writes.erase(std::unique(writes.begin(), writes.end(),
+                             [](const WriteRef& a, const WriteRef& b) {
+                               return a.version == b.version &&
+                                      a.writer == b.writer;
+                             }),
+                 writes.end());
+    // Writer chain: the total order <<_x.
+    for (size_t i = 1; i < writes.size(); ++i) {
+      AddEdge(writes[i - 1].writer, writes[i].writer);
+    }
+  }
+
+  for (const TxnRecord& rec : records) {
+    for (const RecordedRead& r : rec.reads) {
+      // Reads-from edge: creator -> reader.
+      if (r.writer != rec.id) AddEdge(r.writer, rec.id);
+      // Version-order edge: reader -> next writer of the same object.
+      auto it = writes_by_key.find(r.key);
+      if (it == writes_by_key.end()) continue;
+      const std::vector<WriteRef>& writes = it->second;
+      auto next = std::upper_bound(
+          writes.begin(), writes.end(), r.version,
+          [](VersionNumber v, const WriteRef& w) { return v < w.version; });
+      if (next != writes.end() && next->writer != rec.id) {
+        AddEdge(rec.id, next->writer);
+      }
+    }
+  }
+}
+
+void Mvsg::AddEdge(TxnId from, TxnId to) {
+  if (from == to) return;
+  if (adjacency_[from].insert(to).second) ++num_edges_;
+  adjacency_[to];  // ensure node exists
+}
+
+bool Mvsg::IsAcyclic() const { return FindCycle().empty(); }
+
+std::vector<TxnId> Mvsg::FindCycle() const {
+  enum class Color { kWhite, kGray, kBlack };
+  std::unordered_map<TxnId, Color> color;
+  std::unordered_map<TxnId, TxnId> parent;
+  color.reserve(adjacency_.size());
+  for (const auto& [node, _] : adjacency_) color[node] = Color::kWhite;
+
+  // Iterative DFS with an explicit stack of (node, iterator position).
+  for (const auto& [root, _] : adjacency_) {
+    if (color[root] != Color::kWhite) continue;
+    std::vector<std::pair<TxnId, std::unordered_set<TxnId>::const_iterator>>
+        stack;
+    color[root] = Color::kGray;
+    stack.emplace_back(root, adjacency_.at(root).begin());
+    while (!stack.empty()) {
+      auto& [node, it] = stack.back();
+      if (it == adjacency_.at(node).end()) {
+        color[node] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const TxnId next = *it;
+      ++it;
+      if (color[next] == Color::kWhite) {
+        color[next] = Color::kGray;
+        parent[next] = node;
+        stack.emplace_back(next, adjacency_.at(next).begin());
+      } else if (color[next] == Color::kGray) {
+        // Found a cycle: walk parents from `node` back to `next`.
+        std::vector<TxnId> cycle;
+        cycle.push_back(next);
+        TxnId cur = node;
+        while (cur != next) {
+          cycle.push_back(cur);
+          cur = parent[cur];
+        }
+        cycle.push_back(next);
+        std::reverse(cycle.begin(), cycle.end());
+        return cycle;
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace mvcc

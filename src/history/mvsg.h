@@ -1,0 +1,61 @@
+#ifndef MVCC_HISTORY_MVSG_H_
+#define MVCC_HISTORY_MVSG_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "history/history.h"
+
+namespace mvcc {
+
+// Multiversion serialization graph (Section 3.2 of the paper, after
+// Bernstein & Goodman). Nodes are committed transactions (plus the initial
+// pseudo-transaction T0 that wrote every preloaded version with number 0).
+// The version order <<_x is the version-number order, i.e. the transaction
+// numbers of the writers — the order used in the proof of Theorem 1.
+//
+// Edges:
+//   1. The total order <<_x over the writers of each object
+//      (condition 1 of the paper's MVSG definition), materialized as the
+//      chain w1 -> w2 -> ... in version order.
+//   2. Reads-from: Ti -> Tj whenever Tj reads x from Ti.
+//   3. Version-order edges for each read r_k[x_j]: Tk -> Tm where x_m is
+//      the next version after x_j. Together with the writer chain this
+//      covers, transitively, every edge required by condition 2 of the
+//      paper's definition.
+//
+// H is one-copy serializable iff this graph is acyclic.
+class Mvsg {
+ public:
+  // Builds the graph from the committed-transaction records of a history.
+  explicit Mvsg(const std::vector<TxnRecord>& records);
+
+  // True iff the graph has no cycle.
+  bool IsAcyclic() const;
+
+  // If cyclic, returns one cycle as a sequence of transaction ids
+  // (first == last); empty if acyclic.
+  std::vector<TxnId> FindCycle() const;
+
+  size_t NumNodes() const { return adjacency_.size(); }
+  size_t NumEdges() const { return num_edges_; }
+
+  // Adjacency for inspection in tests.
+  const std::unordered_map<TxnId, std::unordered_set<TxnId>>& adjacency()
+      const {
+    return adjacency_;
+  }
+
+ private:
+  void AddEdge(TxnId from, TxnId to);
+
+  std::unordered_map<TxnId, std::unordered_set<TxnId>> adjacency_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_HISTORY_MVSG_H_

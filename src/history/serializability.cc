@@ -1,0 +1,97 @@
+#include "history/serializability.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "history/mvsg.h"
+
+namespace mvcc {
+
+namespace {
+
+std::string Describe(const char* lemma, const std::string& detail) {
+  return std::string(lemma) + ": " + detail;
+}
+
+}  // namespace
+
+SerializabilityVerdict CheckOneCopySerializable(const History& history) {
+  SerializabilityVerdict verdict;
+  const std::vector<TxnRecord> records = history.Records();
+  Mvsg graph(records);
+  verdict.cycle = graph.FindCycle();
+  verdict.one_copy_serializable = verdict.cycle.empty();
+  verdict.lemma_violations = CheckLemmas(records);
+  return verdict;
+}
+
+std::vector<std::string> CheckLemmas(const std::vector<TxnRecord>& records) {
+  std::vector<std::string> violations;
+
+  // Lemma 1: uniqueness of tn over read-write transactions.
+  std::set<TxnNumber> seen_numbers;
+  for (const TxnRecord& rec : records) {
+    if (rec.cls != TxnClass::kReadWrite) continue;
+    if (!seen_numbers.insert(rec.number).second) {
+      violations.push_back(Describe(
+          "Lemma 1", "duplicate tn " + std::to_string(rec.number) +
+                         " (txn " + std::to_string(rec.id) + ")"));
+    }
+  }
+
+  // Lemma 2: for every r_k[x_j], tn(T_j) <= tn(T_k): the version number
+  // read never exceeds the reader's own number.
+  for (const TxnRecord& rec : records) {
+    for (const RecordedRead& r : rec.reads) {
+      if (r.version > rec.number) {
+        violations.push_back(Describe(
+            "Lemma 2", "txn " + std::to_string(rec.id) + " (number " +
+                           std::to_string(rec.number) + ") read version " +
+                           std::to_string(r.version) + " of key " +
+                           std::to_string(r.key)));
+      }
+    }
+  }
+
+  // Lemma 3: for every r_k[x_j] there is no committed w_i[x_i] (i != k)
+  // with version(x_j) < version(x_i) <= number(T_k).
+  std::map<ObjectKey, std::vector<std::pair<VersionNumber, TxnId>>>
+      writes_by_key;
+  for (const TxnRecord& rec : records) {
+    for (const RecordedWrite& w : rec.writes) {
+      writes_by_key[w.key].emplace_back(w.version, rec.id);
+    }
+  }
+  for (auto& [key, writes] : writes_by_key) {
+    std::sort(writes.begin(), writes.end());
+  }
+  for (const TxnRecord& rec : records) {
+    for (const RecordedRead& r : rec.reads) {
+      auto it = writes_by_key.find(r.key);
+      if (it == writes_by_key.end()) continue;
+      const auto& writes = it->second;
+      // First write with version > version read.
+      auto lo = std::upper_bound(
+          writes.begin(), writes.end(),
+          std::make_pair(r.version,
+                         std::numeric_limits<TxnId>::max()));
+      for (auto w = lo; w != writes.end() && w->first <= rec.number; ++w) {
+        if (w->second == rec.id) continue;  // i == k is permitted
+        violations.push_back(Describe(
+            "Lemma 3",
+            "txn " + std::to_string(rec.id) + " (number " +
+                std::to_string(rec.number) + ") read version " +
+                std::to_string(r.version) + " of key " +
+                std::to_string(r.key) + " but txn " +
+                std::to_string(w->second) + " committed version " +
+                std::to_string(w->first)));
+      }
+    }
+  }
+
+  return violations;
+}
+
+}  // namespace mvcc

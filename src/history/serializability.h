@@ -1,0 +1,39 @@
+#ifndef MVCC_HISTORY_SERIALIZABILITY_H_
+#define MVCC_HISTORY_SERIALIZABILITY_H_
+
+#include <string>
+#include <vector>
+
+#include "history/history.h"
+
+namespace mvcc {
+
+// Result of checking a recorded history against the paper's correctness
+// obligations.
+struct SerializabilityVerdict {
+  bool one_copy_serializable = false;
+  // Empty when serializable; otherwise one cycle through the MVSG.
+  std::vector<TxnId> cycle;
+  // Human-readable diagnostics for any lemma violations.
+  std::vector<std::string> lemma_violations;
+
+  bool AllLemmasHold() const { return lemma_violations.empty(); }
+};
+
+// Checks MVSG acyclicity (Theorem 1) over the committed transactions of
+// `history`.
+SerializabilityVerdict CheckOneCopySerializable(const History& history);
+
+// Checks the formal-specification lemmas of Section 5.1 over a recorded
+// history:
+//   Lemma 1: read-write transaction numbers are unique.
+//   Lemma 2: every read returns a version created by a predecessor:
+//            version(x_j) <= number(T_k) for every r_k[x_j].
+//   Lemma 3: no committed write lands strictly between the version a
+//            transaction read and that transaction's own number.
+// Returns human-readable violation strings (empty = all hold).
+std::vector<std::string> CheckLemmas(const std::vector<TxnRecord>& records);
+
+}  // namespace mvcc
+
+#endif  // MVCC_HISTORY_SERIALIZABILITY_H_

@@ -1,0 +1,69 @@
+#include "recovery/checkpoint.h"
+
+#include <cstring>
+
+namespace mvcc {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x4D564343434B3031ULL;  // "MVCCCK01"
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+bool GetU64(const std::string& in, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, 8);
+  *pos += 8;
+  return true;
+}
+
+}  // namespace
+
+std::string Checkpoint::Serialize() const {
+  std::string out;
+  PutU64(&out, kMagic);
+  PutU64(&out, vtnc);
+  PutU64(&out, entries.size());
+  for (const CheckpointEntry& e : entries) {
+    PutU64(&out, e.key);
+    PutU64(&out, e.version);
+    PutU64(&out, e.value.size());
+    out.append(e.value);
+  }
+  return out;
+}
+
+Result<Checkpoint> Checkpoint::Deserialize(const std::string& image) {
+  size_t pos = 0;
+  uint64_t magic = 0;
+  if (!GetU64(image, &pos, &magic) || magic != kMagic) {
+    return Status::InvalidArgument("bad checkpoint image magic");
+  }
+  Checkpoint out;
+  uint64_t count = 0;
+  if (!GetU64(image, &pos, &out.vtnc) || !GetU64(image, &pos, &count)) {
+    return Status::InvalidArgument("truncated checkpoint header");
+  }
+  out.entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    CheckpointEntry e;
+    uint64_t len = 0;
+    if (!GetU64(image, &pos, &e.key) || !GetU64(image, &pos, &e.version) ||
+        !GetU64(image, &pos, &len) || pos + len > image.size()) {
+      return Status::InvalidArgument("truncated checkpoint entry");
+    }
+    e.value.assign(image, pos, len);
+    pos += len;
+    out.entries.push_back(std::move(e));
+  }
+  if (pos != image.size()) {
+    return Status::InvalidArgument("trailing bytes in checkpoint image");
+  }
+  return out;
+}
+
+}  // namespace mvcc

@@ -1,0 +1,38 @@
+#ifndef MVCC_RECOVERY_CHECKPOINT_H_
+#define MVCC_RECOVERY_CHECKPOINT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+
+namespace mvcc {
+
+// One object's state in a checkpoint: the newest committed version at or
+// below the checkpoint's vtnc. Older versions are deliberately dropped —
+// after a crash no read-only transaction survives, so no snapshot below
+// the checkpoint can ever be requested again (the same argument that
+// justifies the garbage collection watermark in Section 6).
+struct CheckpointEntry {
+  ObjectKey key = 0;
+  VersionNumber version = 0;
+  Value value;
+};
+
+// A transactionally consistent materialization of the database at some
+// vtnc. Taken with an ordinary read-only snapshot — checkpointing, like
+// garbage collection, needs nothing from the concurrency control
+// component.
+struct Checkpoint {
+  TxnNumber vtnc = 0;
+  std::vector<CheckpointEntry> entries;
+
+  std::string Serialize() const;
+  static Result<Checkpoint> Deserialize(const std::string& image);
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_RECOVERY_CHECKPOINT_H_

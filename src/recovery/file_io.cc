@@ -1,0 +1,47 @@
+#include "recovery/file_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mvcc {
+
+Status WriteFileAtomic(const std::string& path,
+                       const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Unavailable("cannot open " + tmp + " for writing");
+    }
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) {
+      return Status::Unavailable("short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Unavailable("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    return Status::Unavailable("error reading " + path);
+  }
+  return buffer.str();
+}
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return in.good();
+}
+
+}  // namespace mvcc

@@ -1,0 +1,25 @@
+#ifndef MVCC_RECOVERY_FILE_IO_H_
+#define MVCC_RECOVERY_FILE_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace mvcc {
+
+// Minimal durable-file helpers for the recovery images (WAL and
+// checkpoint serializations). Writes go through a temp file + rename so
+// a crash during save never leaves a half-written image in place.
+
+// Writes `contents` to `path` atomically (temp file + rename).
+Status WriteFileAtomic(const std::string& path, const std::string& contents);
+
+// Reads the whole file.
+Result<std::string> ReadFile(const std::string& path);
+
+// True if `path` exists and is readable.
+bool FileExists(const std::string& path);
+
+}  // namespace mvcc
+
+#endif  // MVCC_RECOVERY_FILE_IO_H_

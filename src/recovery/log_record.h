@@ -1,0 +1,32 @@
+#ifndef MVCC_RECOVERY_LOG_RECORD_H_
+#define MVCC_RECOVERY_LOG_RECORD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace mvcc {
+
+// One committed write in the log.
+struct LoggedWrite {
+  ObjectKey key = 0;
+  Value value;
+};
+
+// The unit of logging: one committed read-write transaction, appended
+// atomically at its commit point. The paper's opening observation —
+// "multiple versions of data are used in database systems to support
+// transaction and system recovery" — is exactly why the version number
+// (tn) is the only ordering information the log needs: replaying batches
+// in ANY order and installing each write with its creator's tn rebuilds
+// the same multiversion state.
+struct CommitBatch {
+  TxnId txn = 0;
+  TxnNumber tn = kInvalidTxnNumber;
+  std::vector<LoggedWrite> writes;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_RECOVERY_LOG_RECORD_H_

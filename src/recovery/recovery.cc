@@ -1,0 +1,59 @@
+#include "recovery/recovery.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace mvcc {
+
+Checkpoint TakeCheckpoint(Database* db) {
+  Checkpoint out;
+  auto snapshot = db->Begin(TxnClass::kReadOnly);
+  out.vtnc = snapshot->start_number();
+  const std::vector<ObjectKey> keys = db->store().KeysInRange(
+      0, std::numeric_limits<ObjectKey>::max());
+  out.entries.reserve(keys.size());
+  for (ObjectKey key : keys) {
+    VersionChain* chain = db->store().Find(key);
+    if (chain == nullptr) continue;
+    Result<VersionRead> read = chain->Read(out.vtnc);
+    if (!read.ok()) continue;  // object born after the snapshot
+    out.entries.push_back(
+        CheckpointEntry{key, read->version, std::move(read->value)});
+  }
+  snapshot->Commit();
+  return out;
+}
+
+std::unique_ptr<Database> RecoverDatabase(DatabaseOptions options,
+                                          const Checkpoint* checkpoint,
+                                          const WriteAheadLog& log) {
+  auto db = std::make_unique<Database>(std::move(options));
+  TxnNumber last_committed = 0;
+
+  if (checkpoint != nullptr) {
+    for (const CheckpointEntry& entry : checkpoint->entries) {
+      // Version 0 rows duplicate the preload; skip them if present.
+      VersionChain* chain = db->store().GetOrCreate(entry.key);
+      if (entry.version == 0 && chain->LatestNumber() == 0) continue;
+      chain->Install(Version{entry.version, entry.value, /*writer=*/0});
+    }
+    last_committed = checkpoint->vtnc;
+  }
+
+  const TxnNumber floor = checkpoint != nullptr ? checkpoint->vtnc : 0;
+  for (const CommitBatch& batch : log.Batches()) {
+    // Batches at or below the checkpoint are already materialized.
+    if (batch.tn <= floor) continue;
+    for (const LoggedWrite& write : batch.writes) {
+      db->store().GetOrCreate(write.key)->Install(
+          Version{batch.tn, write.value, batch.txn});
+    }
+    last_committed = std::max(last_committed, batch.tn);
+  }
+
+  db->version_control().RecoverTo(last_committed);
+  return db;
+}
+
+}  // namespace mvcc

@@ -1,0 +1,33 @@
+#ifndef MVCC_RECOVERY_RECOVERY_H_
+#define MVCC_RECOVERY_RECOVERY_H_
+
+#include <memory>
+
+#include "recovery/checkpoint.h"
+#include "recovery/wal.h"
+#include "txn/database.h"
+
+namespace mvcc {
+
+// Takes a transactionally consistent checkpoint of `db` at its current
+// vtnc, using an ordinary read-only snapshot over the key index. Safe to
+// run concurrently with any workload. Afterwards the caller may
+// Truncate() the write-ahead log up to the returned vtnc.
+Checkpoint TakeCheckpoint(Database* db);
+
+// Rebuilds a database after a "crash": starts from `options` (preload is
+// applied first, re-creating the initial load T0), overlays the
+// checkpoint if given, replays every logged commit with tn above the
+// checkpoint's vtnc (installing each write with its creator's
+// transaction number, preserving the multiversion order), and restores
+// the version control counters so vtnc = the last durable transaction
+// and future registrations get larger numbers. The recovered database is
+// immediately serviceable: read-only snapshots observe exactly the
+// committed state, and new read-write transactions extend the history.
+std::unique_ptr<Database> RecoverDatabase(DatabaseOptions options,
+                                          const Checkpoint* checkpoint,
+                                          const WriteAheadLog& log);
+
+}  // namespace mvcc
+
+#endif  // MVCC_RECOVERY_RECOVERY_H_

@@ -1,0 +1,128 @@
+#include "recovery/wal.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+namespace mvcc {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x4D564343574C3031ULL;  // "MVCCWL01"
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU64(out, s.size());
+  out->append(s);
+}
+
+// Reads a u64 at *pos, advancing it. Returns false on underrun.
+bool GetU64(const std::string& in, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, 8);
+  *pos += 8;
+  return true;
+}
+
+bool GetString(const std::string& in, size_t* pos, std::string* s) {
+  uint64_t len = 0;
+  if (!GetU64(in, pos, &len)) return false;
+  if (*pos + len > in.size()) return false;
+  s->assign(in, *pos, len);
+  *pos += len;
+  return true;
+}
+
+}  // namespace
+
+void WriteAheadLog::Append(CommitBatch batch) {
+  std::lock_guard<std::mutex> guard(mu_);
+  max_tn_ = std::max(max_tn_, batch.tn);
+  batches_.push_back(std::move(batch));
+}
+
+std::vector<CommitBatch> WriteAheadLog::Batches() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return batches_;
+}
+
+void WriteAheadLog::Truncate(TxnNumber up_to) {
+  std::lock_guard<std::mutex> guard(mu_);
+  batches_.erase(std::remove_if(batches_.begin(), batches_.end(),
+                                [up_to](const CommitBatch& b) {
+                                  return b.tn <= up_to;
+                                }),
+                 batches_.end());
+}
+
+size_t WriteAheadLog::size() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return batches_.size();
+}
+
+TxnNumber WriteAheadLog::MaxTn() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return max_tn_;
+}
+
+std::string WriteAheadLog::Serialize() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::string out;
+  PutU64(&out, kMagic);
+  PutU64(&out, batches_.size());
+  for (const CommitBatch& batch : batches_) {
+    PutU64(&out, batch.txn);
+    PutU64(&out, batch.tn);
+    PutU64(&out, batch.writes.size());
+    for (const LoggedWrite& w : batch.writes) {
+      PutU64(&out, w.key);
+      PutString(&out, w.value);
+    }
+  }
+  return out;
+}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Deserialize(
+    const std::string& image) {
+  size_t pos = 0;
+  uint64_t magic = 0;
+  if (!GetU64(image, &pos, &magic) || magic != kMagic) {
+    return Status::InvalidArgument("bad WAL image magic");
+  }
+  uint64_t count = 0;
+  if (!GetU64(image, &pos, &count)) {
+    return Status::InvalidArgument("truncated WAL image (batch count)");
+  }
+  auto log = std::make_unique<WriteAheadLog>();
+  for (uint64_t i = 0; i < count; ++i) {
+    CommitBatch batch;
+    uint64_t writes = 0;
+    if (!GetU64(image, &pos, &batch.txn) ||
+        !GetU64(image, &pos, &batch.tn) ||
+        !GetU64(image, &pos, &writes)) {
+      return Status::InvalidArgument("truncated WAL image (batch header)");
+    }
+    batch.writes.reserve(writes);
+    for (uint64_t w = 0; w < writes; ++w) {
+      LoggedWrite write;
+      if (!GetU64(image, &pos, &write.key) ||
+          !GetString(image, &pos, &write.value)) {
+        return Status::InvalidArgument("truncated WAL image (write)");
+      }
+      batch.writes.push_back(std::move(write));
+    }
+    log->Append(std::move(batch));
+  }
+  if (pos != image.size()) {
+    return Status::InvalidArgument("trailing bytes in WAL image");
+  }
+  return log;
+}
+
+}  // namespace mvcc

@@ -1,0 +1,59 @@
+#ifndef MVCC_RECOVERY_WAL_H_
+#define MVCC_RECOVERY_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "recovery/log_record.h"
+
+namespace mvcc {
+
+// In-memory write-ahead log of committed read-write transactions, with a
+// portable string serialization standing in for the on-disk format. The
+// append of a CommitBatch is the simulated durability point: a "crash"
+// in tests drops the Database object and rebuilds it from this log (see
+// recovery.h). Thread-safe.
+class WriteAheadLog {
+ public:
+  WriteAheadLog() = default;
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  // Appends one committed transaction atomically.
+  void Append(CommitBatch batch);
+
+  // Snapshot of all batches currently in the log.
+  std::vector<CommitBatch> Batches() const;
+
+  // Drops batches with tn <= `up_to` (they are covered by a checkpoint).
+  void Truncate(TxnNumber up_to);
+
+  size_t size() const;
+
+  // Largest tn appended so far (0 if empty since truncation never drops
+  // the maximum unless the checkpoint covers it).
+  TxnNumber MaxTn() const;
+
+  // ---- serialization (simulated disk image) ----
+
+  // Length-prefixed binary encoding of the whole log.
+  std::string Serialize() const;
+
+  // Reconstructs a log from Serialize() output. Fails on any framing
+  // error (truncated image, bad magic).
+  static Result<std::unique_ptr<WriteAheadLog>> Deserialize(
+      const std::string& image);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<CommitBatch> batches_;
+  TxnNumber max_tn_ = 0;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_RECOVERY_WAL_H_

@@ -1,0 +1,166 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mvcc {
+
+BPlusTree::BPlusTree() : root_(std::make_unique<Node>()) {}
+
+void BPlusTree::Insert(ObjectKey key) {
+  bool inserted = false;
+  std::unique_ptr<Split> split = InsertInto(root_.get(), key, &inserted);
+  if (split != nullptr) {
+    // Root overflow: grow a new root with two children.
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->keys.push_back(split->separator);
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split->right));
+    root_ = std::move(new_root);
+    ++height_;
+  }
+  if (inserted) ++size_;
+}
+
+std::unique_ptr<BPlusTree::Split> BPlusTree::InsertInto(Node* node,
+                                                        ObjectKey key,
+                                                        bool* inserted) {
+  if (node->leaf) {
+    auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+    if (it != node->keys.end() && *it == key) {
+      *inserted = false;
+      return nullptr;
+    }
+    node->keys.insert(it, key);
+    *inserted = true;
+    if (node->keys.size() <= kMaxKeys) return nullptr;
+
+    // Leaf split: move the upper half right; the separator is the first
+    // key of the right leaf (B+ tree style: separators duplicate keys).
+    auto split = std::make_unique<Split>();
+    split->right = std::make_unique<Node>();
+    Node* right = split->right.get();
+    const size_t mid = node->keys.size() / 2;
+    right->keys.assign(node->keys.begin() + mid, node->keys.end());
+    node->keys.resize(mid);
+    right->next = node->next;
+    node->next = right;
+    split->separator = right->keys.front();
+    return split;
+  }
+
+  // Internal node: descend into the child that covers `key`.
+  const size_t child_index = static_cast<size_t>(
+      std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+      node->keys.begin());
+  std::unique_ptr<Split> child_split =
+      InsertInto(node->children[child_index].get(), key, inserted);
+  if (child_split == nullptr) return nullptr;
+
+  node->keys.insert(node->keys.begin() + child_index,
+                    child_split->separator);
+  node->children.insert(node->children.begin() + child_index + 1,
+                        std::move(child_split->right));
+  if (node->keys.size() <= kMaxKeys) return nullptr;
+
+  // Internal split: the middle key moves UP (it does not stay in either
+  // half, unlike a leaf split).
+  auto split = std::make_unique<Split>();
+  split->right = std::make_unique<Node>();
+  Node* right = split->right.get();
+  right->leaf = false;
+  const size_t mid = node->keys.size() / 2;
+  split->separator = node->keys[mid];
+  right->keys.assign(node->keys.begin() + mid + 1, node->keys.end());
+  node->keys.resize(mid);
+  for (size_t i = mid + 1; i < node->children.size(); ++i) {
+    right->children.push_back(std::move(node->children[i]));
+  }
+  node->children.resize(mid + 1);
+  return split;
+}
+
+const BPlusTree::Node* BPlusTree::LeafFor(ObjectKey key) const {
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    const size_t child_index = static_cast<size_t>(
+        std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+        node->keys.begin());
+    node = node->children[child_index].get();
+  }
+  return node;
+}
+
+bool BPlusTree::Contains(ObjectKey key) const {
+  const Node* leaf = LeafFor(key);
+  return std::binary_search(leaf->keys.begin(), leaf->keys.end(), key);
+}
+
+std::vector<ObjectKey> BPlusTree::Range(ObjectKey lo, ObjectKey hi) const {
+  std::vector<ObjectKey> out;
+  if (lo > hi) return out;
+  const Node* leaf = LeafFor(lo);
+  while (leaf != nullptr) {
+    for (ObjectKey key : leaf->keys) {
+      if (key < lo) continue;
+      if (key > hi) return out;
+      out.push_back(key);
+    }
+    leaf = leaf->next;
+  }
+  return out;
+}
+
+int BPlusTree::Check(const Node* node, bool is_root, ObjectKey lo,
+                     ObjectKey hi) const {
+  if (!std::is_sorted(node->keys.begin(), node->keys.end())) return -1;
+  if (std::adjacent_find(node->keys.begin(), node->keys.end()) !=
+      node->keys.end()) {
+    return -1;  // duplicates
+  }
+  if (!is_root && node->keys.size() < kMinKeys) return -1;
+  if (node->keys.size() > kMaxKeys) return -1;
+  for (ObjectKey key : node->keys) {
+    if (key < lo || key > hi) return -1;
+  }
+  if (node->leaf) {
+    if (!node->children.empty()) return -1;
+    return 0;
+  }
+  if (node->children.size() != node->keys.size() + 1) return -1;
+  if (is_root && node->keys.empty()) return -1;
+  int depth = -2;
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    // Child i's keys lie in [prev separator, next separator). Leaf keys
+    // equal to the separator live in the RIGHT child (upper_bound
+    // descent), so child i's upper bound is separator[i] - 1.
+    const ObjectKey child_lo = i == 0 ? lo : node->keys[i - 1];
+    const ObjectKey child_hi =
+        i == node->keys.size() ? hi : node->keys[i] - 1;
+    const int child_depth =
+        Check(node->children[i].get(), false, child_lo, child_hi);
+    if (child_depth < 0) return -1;
+    if (depth == -2) {
+      depth = child_depth;
+    } else if (depth != child_depth) {
+      return -1;
+    }
+  }
+  return depth + 1;
+}
+
+bool BPlusTree::CheckInvariants() const {
+  const int depth = Check(root_.get(), /*is_root=*/true, 0,
+                          std::numeric_limits<ObjectKey>::max());
+  if (depth < 0) return false;
+  if (depth + 1 != height_) return false;
+  // Leaf chain must enumerate exactly size_ keys in sorted order.
+  std::vector<ObjectKey> all =
+      Range(0, std::numeric_limits<ObjectKey>::max());
+  if (all.size() != size_) return false;
+  if (!std::is_sorted(all.begin(), all.end())) return false;
+  return true;
+}
+
+}  // namespace mvcc

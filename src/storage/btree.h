@@ -1,0 +1,81 @@
+#ifndef MVCC_STORAGE_BTREE_H_
+#define MVCC_STORAGE_BTREE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace mvcc {
+
+// In-memory B+ tree over object keys with set semantics and linked
+// leaves for range scans. This is the ordered-index substrate behind
+// KeyIndex (which adds the reader/writer synchronization); keeping the
+// structure itself single-threaded keeps the rebalancing code auditable.
+//
+// Shape invariants (verified by CheckInvariants(), exercised by the
+// property tests):
+//   * every leaf is at the same depth;
+//   * an internal node with k separator keys has k+1 children, and every
+//     key in child i is < separator[i] <= every key in child i+1;
+//   * every node except the root holds at least kMinKeys keys;
+//   * leaf-link order equals sorted key order.
+class BPlusTree {
+ public:
+  static constexpr size_t kMaxKeys = 64;
+  static constexpr size_t kMinKeys = kMaxKeys / 2;
+
+  BPlusTree();
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  // Inserts `key`; duplicate inserts are ignored (set semantics).
+  void Insert(ObjectKey key);
+
+  bool Contains(ObjectKey key) const;
+
+  // All keys in [lo, hi], ascending.
+  std::vector<ObjectKey> Range(ObjectKey lo, ObjectKey hi) const;
+
+  size_t size() const { return size_; }
+  int height() const { return height_; }
+
+  // Full structural validation; false means a bug.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::vector<ObjectKey> keys;
+    std::vector<std::unique_ptr<Node>> children;  // internal nodes only
+    Node* next = nullptr;                         // leaf chain
+  };
+
+  // Result of inserting into a subtree that had to split: the separator
+  // to push up and the new right sibling.
+  struct Split {
+    ObjectKey separator;
+    std::unique_ptr<Node> right;
+  };
+
+  // Inserts into the subtree at `node`; returns a Split if `node`
+  // overflowed, nullopt otherwise. Sets *inserted false on duplicate.
+  std::unique_ptr<Split> InsertInto(Node* node, ObjectKey key,
+                                    bool* inserted);
+
+  const Node* LeafFor(ObjectKey key) const;
+
+  // Recursive invariant check; returns the subtree's leaf depth or -1 on
+  // violation. Keys in the subtree must lie in [lo, hi].
+  int Check(const Node* node, bool is_root, ObjectKey lo,
+            ObjectKey hi) const;
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+  int height_ = 1;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_STORAGE_BTREE_H_

@@ -1,0 +1,57 @@
+#ifndef MVCC_STORAGE_KEY_INDEX_H_
+#define MVCC_STORAGE_KEY_INDEX_H_
+
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/ids.h"
+#include "storage/btree.h"
+
+namespace mvcc {
+
+// Ordered index over the keys that exist in an object store. Supports
+// range enumeration for snapshot scans and checkpointing. Keys are only
+// ever added (objects are never dropped; garbage collection removes
+// versions, not objects), so the index needs no tombstones.
+//
+// Note the phantom story: a read-only transaction scanning a range reads
+// each indexed key's chain at its start number. A key created AFTER the
+// snapshot has only versions with numbers above sn, so the chain read
+// reports NotFound and the scan skips it — snapshot scans are
+// phantom-free with no locking at all.
+class KeyIndex {
+ public:
+  KeyIndex() = default;
+  KeyIndex(const KeyIndex&) = delete;
+  KeyIndex& operator=(const KeyIndex&) = delete;
+
+  void Insert(ObjectKey key) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    tree_.Insert(key);
+  }
+
+  // All keys in [lo, hi], ascending.
+  std::vector<ObjectKey> Range(ObjectKey lo, ObjectKey hi) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return tree_.Range(lo, hi);
+  }
+
+  bool Contains(ObjectKey key) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return tree_.Contains(key);
+  }
+
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return tree_.size();
+  }
+
+ private:
+  mutable std::shared_mutex mu_;
+  BPlusTree tree_;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_STORAGE_KEY_INDEX_H_

@@ -1,0 +1,73 @@
+#include "storage/object_store.h"
+
+namespace mvcc {
+
+ObjectStore::ObjectStore(size_t num_shards)
+    : shards_(num_shards == 0 ? 1 : num_shards) {}
+
+void ObjectStore::Preload(uint64_t num_keys, const Value& initial_value) {
+  for (uint64_t key = 0; key < num_keys; ++key) {
+    VersionChain* chain = GetOrCreate(key);
+    chain->Install(Version{/*number=*/0, initial_value, /*writer=*/0});
+  }
+}
+
+VersionChain* ObjectStore::Find(ObjectKey key) const {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<SpinLatch> guard(shard.latch);
+  auto it = shard.chains.find(key);
+  return it == shard.chains.end() ? nullptr : it->second.get();
+}
+
+VersionChain* ObjectStore::GetOrCreate(ObjectKey key) {
+  Shard& shard = ShardFor(key);
+  bool created = false;
+  VersionChain* chain = nullptr;
+  {
+    std::lock_guard<SpinLatch> guard(shard.latch);
+    auto& slot = shard.chains[key];
+    if (!slot) {
+      slot = std::make_unique<VersionChain>();
+      created = true;
+    }
+    chain = slot.get();
+  }
+  if (created) index_.Insert(key);
+  return chain;
+}
+
+size_t ObjectStore::TotalVersions() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<SpinLatch> guard(shard.latch);
+    for (const auto& [key, chain] : shard.chains) total += chain->size();
+  }
+  return total;
+}
+
+size_t ObjectStore::NumKeys() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<SpinLatch> guard(shard.latch);
+    total += shard.chains.size();
+  }
+  return total;
+}
+
+size_t ObjectStore::PruneAll(VersionNumber watermark) {
+  size_t removed = 0;
+  for (Shard& shard : shards_) {
+    std::vector<VersionChain*> chains;
+    {
+      std::lock_guard<SpinLatch> guard(shard.latch);
+      chains.reserve(shard.chains.size());
+      for (auto& [key, chain] : shard.chains) chains.push_back(chain.get());
+    }
+    // Prune outside the shard latch: chains are never deleted, and each
+    // chain has its own latch.
+    for (VersionChain* chain : chains) removed += chain->Prune(watermark);
+  }
+  return removed;
+}
+
+}  // namespace mvcc

@@ -1,0 +1,69 @@
+#ifndef MVCC_STORAGE_OBJECT_STORE_H_
+#define MVCC_STORAGE_OBJECT_STORE_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/latch.h"
+#include "common/result.h"
+#include "storage/key_index.h"
+#include "storage/version_chain.h"
+
+namespace mvcc {
+
+// Sharded in-memory table mapping object keys to version chains. The store
+// is deliberately protocol-agnostic: it knows nothing about locks,
+// timestamps, or visibility — that is the whole point of the paper's
+// modular decomposition.
+class ObjectStore {
+ public:
+  explicit ObjectStore(size_t num_shards = 64);
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  // Creates keys [0, num_keys) each with one initial version (number 0,
+  // writer T0) holding `initial_value`.
+  void Preload(uint64_t num_keys, const Value& initial_value);
+
+  // Returns the chain for `key`, or nullptr if the key does not exist.
+  VersionChain* Find(ObjectKey key) const;
+
+  // Returns the chain for `key`, creating an empty chain if absent.
+  VersionChain* GetOrCreate(ObjectKey key);
+
+  // Total committed versions retained across all chains (GC accounting).
+  size_t TotalVersions() const;
+
+  // Number of distinct keys.
+  size_t NumKeys() const;
+
+  // Applies Prune(watermark) to every chain; returns versions discarded.
+  size_t PruneAll(VersionNumber watermark);
+
+  // All existing keys in [lo, hi], ascending (snapshot scans,
+  // checkpoints).
+  std::vector<ObjectKey> KeysInRange(ObjectKey lo, ObjectKey hi) const {
+    return index_.Range(lo, hi);
+  }
+
+ private:
+  struct Shard {
+    mutable SpinLatch latch;
+    std::unordered_map<ObjectKey, std::unique_ptr<VersionChain>> chains;
+  };
+
+  Shard& ShardFor(ObjectKey key) const {
+    return shards_[key % shards_.size()];
+  }
+
+  mutable std::vector<Shard> shards_;
+  KeyIndex index_;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_STORAGE_OBJECT_STORE_H_

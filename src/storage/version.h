@@ -1,0 +1,31 @@
+#ifndef MVCC_STORAGE_VERSION_H_
+#define MVCC_STORAGE_VERSION_H_
+
+#include <utility>
+
+#include "common/ids.h"
+
+namespace mvcc {
+
+// One committed version of an object. `number` is the transaction number of
+// the creator, so version order coincides with the serialization order of
+// writers — the version-order definition used in Theorem 1 of the paper.
+struct Version {
+  VersionNumber number = kInvalidTxnNumber;
+  Value value;
+  // Transaction id (not number) of the creator; used by the history
+  // recorder to attribute reads-from edges. Zero denotes the initial
+  // database-load pseudo-transaction T0.
+  TxnId writer = 0;
+};
+
+// Result of a versioned read: the value plus which version supplied it.
+struct VersionRead {
+  VersionNumber version = kInvalidTxnNumber;
+  TxnId writer = 0;
+  Value value;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_STORAGE_VERSION_H_

@@ -1,0 +1,88 @@
+#include "storage/version_chain.h"
+
+#include <algorithm>
+#include <string>
+
+namespace mvcc {
+
+namespace {
+
+// Comparator for binary search over the ascending version vector.
+bool NumberLess(const Version& v, VersionNumber n) { return v.number < n; }
+
+}  // namespace
+
+Result<VersionRead> VersionChain::Read(TxnNumber at_most) const {
+  std::lock_guard<SpinLatch> guard(latch_);
+  // upper_bound over numbers: first version with number > at_most.
+  auto it = std::upper_bound(
+      versions_.begin(), versions_.end(), at_most,
+      [](TxnNumber n, const Version& v) { return n < v.number; });
+  if (it == versions_.begin()) {
+    return Status::NotFound("no version <= " + std::to_string(at_most));
+  }
+  --it;
+  return VersionRead{it->number, it->writer, it->value};
+}
+
+Result<VersionRead> VersionChain::ReadLatest() const {
+  std::lock_guard<SpinLatch> guard(latch_);
+  if (versions_.empty()) return Status::NotFound("empty version chain");
+  const Version& v = versions_.back();
+  return VersionRead{v.number, v.writer, v.value};
+}
+
+Result<VersionRead> VersionChain::ReadIf(
+    TxnNumber at_most,
+    const std::function<bool(VersionNumber)>& pred) const {
+  std::lock_guard<SpinLatch> guard(latch_);
+  auto it = std::upper_bound(
+      versions_.begin(), versions_.end(), at_most,
+      [](TxnNumber n, const Version& v) { return n < v.number; });
+  while (it != versions_.begin()) {
+    --it;
+    if (pred(it->number)) {
+      return VersionRead{it->number, it->writer, it->value};
+    }
+  }
+  return Status::NotFound("no qualifying version <= " +
+                          std::to_string(at_most));
+}
+
+void VersionChain::Install(Version v) {
+  std::lock_guard<SpinLatch> guard(latch_);
+  if (versions_.empty() || versions_.back().number < v.number) {
+    versions_.push_back(std::move(v));
+    return;
+  }
+  // Rare path: a TO writer with a smaller tn committed after a larger one.
+  auto it = std::lower_bound(versions_.begin(), versions_.end(), v.number,
+                             NumberLess);
+  versions_.insert(it, std::move(v));
+}
+
+size_t VersionChain::Prune(VersionNumber watermark) {
+  std::lock_guard<SpinLatch> guard(latch_);
+  // Find newest version with number <= watermark; everything before it is
+  // unreachable by any current or future reader.
+  auto it = std::upper_bound(
+      versions_.begin(), versions_.end(), watermark,
+      [](VersionNumber n, const Version& v) { return n < v.number; });
+  if (it == versions_.begin()) return 0;
+  --it;  // the version that must be retained
+  const size_t removed = static_cast<size_t>(it - versions_.begin());
+  versions_.erase(versions_.begin(), it);
+  return removed;
+}
+
+size_t VersionChain::size() const {
+  std::lock_guard<SpinLatch> guard(latch_);
+  return versions_.size();
+}
+
+VersionNumber VersionChain::LatestNumber() const {
+  std::lock_guard<SpinLatch> guard(latch_);
+  return versions_.empty() ? kInvalidTxnNumber : versions_.back().number;
+}
+
+}  // namespace mvcc

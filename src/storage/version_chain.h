@@ -1,0 +1,68 @@
+#ifndef MVCC_STORAGE_VERSION_CHAIN_H_
+#define MVCC_STORAGE_VERSION_CHAIN_H_
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/latch.h"
+#include "common/result.h"
+#include "storage/version.h"
+
+namespace mvcc {
+
+// The list of committed versions of one object, ordered by ascending
+// version number. All operations are internally synchronized with a
+// short spin latch; blocking-on-pending-writes semantics belong to the
+// concurrency control protocols, never to the chain itself.
+class VersionChain {
+ public:
+  VersionChain() = default;
+  VersionChain(const VersionChain&) = delete;
+  VersionChain& operator=(const VersionChain&) = delete;
+
+  // Returns the version with the largest number <= `at_most`
+  // (the read rule of Figure 2). NotFound if every version is younger,
+  // which can only happen if garbage collection violated its watermark
+  // contract or the object was created after the reader's snapshot.
+  Result<VersionRead> Read(TxnNumber at_most) const;
+
+  // Returns the most recent committed version (the 2PL read rule,
+  // sn = infinity). NotFound on an empty chain.
+  Result<VersionRead> ReadLatest() const;
+
+  // Returns the newest version with number <= `at_most` whose number also
+  // satisfies `pred`, scanning backwards. Used by the MV2PL-CTL baseline,
+  // whose readers must additionally check that the version's creator
+  // appears in their completed-transaction-list copy.
+  Result<VersionRead> ReadIf(
+      TxnNumber at_most,
+      const std::function<bool(VersionNumber)>& pred) const;
+
+  // Inserts a committed version. Version numbers are unique per object
+  // (writers are serialized by the CC protocol); out-of-order installs
+  // are tolerated because TO writers may commit out of tn order.
+  void Install(Version v);
+
+  // Removes all versions strictly older than the newest version whose
+  // number is <= `watermark`. That newest-visible version is retained so
+  // readers with sn >= watermark still find their snapshot. Returns the
+  // number of versions discarded.
+  size_t Prune(VersionNumber watermark);
+
+  // Number of committed versions currently retained.
+  size_t size() const;
+
+  // Largest committed version number, or kInvalidTxnNumber if empty.
+  VersionNumber LatestNumber() const;
+
+ private:
+  mutable SpinLatch latch_;
+  std::vector<Version> versions_;  // ascending by number
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_STORAGE_VERSION_CHAIN_H_

@@ -1,0 +1,318 @@
+#include "txn/database.h"
+
+#include <cassert>
+#include <utility>
+
+#include "baselines/mv2pl_ctl.h"
+#include "baselines/mvto.h"
+#include "baselines/sv2pl.h"
+#include "baselines/weihl_ti.h"
+#include "cc/adaptive.h"
+#include "cc/optimistic.h"
+#include "cc/timestamp_ordering.h"
+#include "cc/two_phase_locking.h"
+
+namespace mvcc {
+
+std::string_view ProtocolKindName(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kVc2pl:
+      return "vc-2pl";
+    case ProtocolKind::kVcTo:
+      return "vc-to";
+    case ProtocolKind::kVcOcc:
+      return "vc-occ";
+    case ProtocolKind::kVcAdaptive:
+      return "vc-adaptive";
+    case ProtocolKind::kMvto:
+      return "mvto";
+    case ProtocolKind::kMv2plCtl:
+      return "mv2pl-ctl";
+    case ProtocolKind::kSv2pl:
+      return "sv-2pl";
+    case ProtocolKind::kWeihlTi:
+      return "weihl-ti";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::unique_ptr<Protocol> MakeProtocol(const DatabaseOptions& options,
+                                       ProtocolEnv env) {
+  switch (options.protocol) {
+    case ProtocolKind::kVc2pl:
+      return std::make_unique<TwoPhaseLocking>(env, options.deadlock_policy);
+    case ProtocolKind::kVcTo:
+      return std::make_unique<TimestampOrdering>(env, options.store_shards);
+    case ProtocolKind::kVcOcc:
+      return std::make_unique<Optimistic>(env);
+    case ProtocolKind::kVcAdaptive:
+      return std::make_unique<Adaptive>(env, options.deadlock_policy);
+    case ProtocolKind::kMvto:
+      return std::make_unique<Mvto>(env, options.store_shards);
+    case ProtocolKind::kMv2plCtl:
+      return std::make_unique<Mv2plCtl>(env, options.deadlock_policy);
+    case ProtocolKind::kSv2pl:
+      return std::make_unique<Sv2pl>(env, options.deadlock_policy);
+    case ProtocolKind::kWeihlTi:
+      return std::make_unique<WeihlTi>(env, options.deadlock_policy,
+                                       options.store_shards);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Database::Database(DatabaseOptions options)
+    : options_(std::move(options)), store_(options_.store_shards) {
+  if (options_.preload_keys > 0) {
+    store_.Preload(options_.preload_keys, options_.initial_value);
+  }
+  ProtocolEnv env;
+  env.store = &store_;
+  env.vc = &vc_;
+  env.counters = &counters_;
+  env.install_pause_ns = options_.install_pause_ns;
+  protocol_ = MakeProtocol(options_, env);
+  assert(protocol_ != nullptr);
+  if (options_.enable_gc) {
+    gc_ = std::make_unique<GarbageCollector>(&store_, &vc_, &readers_);
+  }
+  if (options_.enable_wal) {
+    wal_ = std::make_unique<WriteAheadLog>();
+  }
+}
+
+Database::~Database() {
+  if (gc_ != nullptr) gc_->Stop();
+}
+
+std::unique_ptr<Transaction> Database::Begin(TxnClass cls) {
+  auto txn = std::unique_ptr<Transaction>(new Transaction(this));
+  TxnState* state = &txn->state_;
+  state->id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  state->cls = cls;
+  if (cls == TxnClass::kReadOnly && protocol_->ReadOnlyBypass()) {
+    // Figure 2: sn(T) <- VCstart(). The only interaction a read-only
+    // transaction ever has with any synchronization module.
+    if (options_.enable_gc) {
+      // Pin a snapshot no newer than the one we will take, so a GC pass
+      // between the two loads can never prune our versions.
+      const TxnNumber pin = vc_.Start();
+      readers_.Enter(pin);
+      state->tn = pin;  // remember the pinned value for Exit()
+      state->sn = vc_.Start();
+    } else {
+      state->sn = vc_.Start();
+      state->tn = state->sn;
+    }
+    return txn;
+  }
+  Status s = protocol_->Begin(state);
+  assert(s.ok());
+  (void)s;
+  return txn;
+}
+
+std::unique_ptr<Transaction> Database::BeginReadOnlyAtLeast(
+    TxnNumber at_least) {
+  assert(protocol_->ReadOnlyBypass() &&
+         "currency fix requires a VC protocol");
+  auto txn = std::unique_ptr<Transaction>(new Transaction(this));
+  TxnState* state = &txn->state_;
+  state->id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  state->cls = TxnClass::kReadOnly;
+  if (options_.enable_gc) {
+    const TxnNumber pin = vc_.Start();
+    readers_.Enter(pin);
+    state->tn = pin;
+    state->sn = vc_.StartAtLeast(at_least);
+  } else {
+    state->sn = vc_.StartAtLeast(at_least);
+    state->tn = state->sn;
+  }
+  return txn;
+}
+
+Result<Value> Database::Get(ObjectKey key) {
+  auto txn = Begin(TxnClass::kReadOnly);
+  Result<Value> value = txn->Read(key);
+  if (!value.ok()) return value;
+  Status s = txn->Commit();
+  if (!s.ok()) return s;
+  return value;
+}
+
+Status Database::Put(ObjectKey key, Value value) {
+  auto txn = Begin(TxnClass::kReadWrite);
+  Status s = txn->Write(key, std::move(value));
+  if (!s.ok()) return s;
+  return txn->Commit();
+}
+
+void Database::StartGc(std::chrono::milliseconds interval) {
+  assert(gc_ != nullptr && "enable_gc was not set");
+  gc_->Start(interval);
+}
+
+void Database::StopGc() {
+  if (gc_ != nullptr) gc_->Stop();
+}
+
+uint64_t Database::VisibilityLag() const { return vc_.QueueSize(); }
+
+Result<Value> Database::DoRead(TxnState* state, ObjectKey key) {
+  if (state->is_read_only() && protocol_->ReadOnlyBypass()) {
+    // Figure 2: return x_j with the largest version <= sn(T). No
+    // concurrency control module is involved; the read never blocks.
+    VersionChain* chain = store_.Find(key);
+    if (chain == nullptr) {
+      return Status::NotFound("key " + std::to_string(key));
+    }
+    Result<VersionRead> read = chain->Read(state->sn);
+    if (!read.ok()) return read.status();
+    state->reads.push_back(ReadEntry{key, read->version, read->writer});
+    return std::move(read->value);
+  }
+
+  Result<VersionRead> read = protocol_->Read(state, key);
+  if (!read.ok()) {
+    if (read.status().IsAborted()) DoAbort(state);
+    return read.status();
+  }
+  // Own-write reads (pending versions) are not part of the recorded
+  // multiversion history: the model admits at most one r[x] before w[x].
+  if (read->version != kPendingVersion) {
+    state->reads.push_back(ReadEntry{key, read->version, read->writer});
+  }
+  return std::move(read->value);
+}
+
+Result<std::vector<std::pair<ObjectKey, Value>>> Database::DoScan(
+    TxnState* state, ObjectKey lo, ObjectKey hi) {
+  if (state->is_read_only() && protocol_->ReadOnlyBypass()) {
+    // Snapshot scan: the version rule excludes phantoms for free.
+    std::vector<std::pair<ObjectKey, Value>> out;
+    for (ObjectKey key : store_.KeysInRange(lo, hi)) {
+      VersionChain* chain = store_.Find(key);
+      if (chain == nullptr) continue;
+      Result<VersionRead> read = chain->Read(state->sn);
+      if (!read.ok()) continue;  // object born after this snapshot
+      state->reads.push_back(ReadEntry{key, read->version, read->writer});
+      out.emplace_back(key, std::move(read->value));
+    }
+    return out;
+  }
+  if (state->is_read_only()) {
+    return Status::InvalidArgument(
+        "baseline protocols do not support range scans");
+  }
+  // Read-write scan: delegated to the protocol, which must exclude
+  // phantoms its own way (2PL: range locks; OCC: validation).
+  auto rows = protocol_->Scan(state, lo, hi);
+  if (!rows.ok()) {
+    if (rows.status().IsAborted()) DoAbort(state);
+    return rows.status();
+  }
+  std::vector<std::pair<ObjectKey, Value>> out;
+  out.reserve(rows->size());
+  for (auto& [key, read] : *rows) {
+    if (read.version != kPendingVersion) {
+      state->reads.push_back(ReadEntry{key, read.version, read.writer});
+    }
+    out.emplace_back(key, std::move(read.value));
+  }
+  return out;
+}
+
+Status Database::DoWrite(TxnState* state, ObjectKey key, Value value) {
+  if (state->is_read_only()) {
+    return Status::InvalidArgument(
+        "write issued by a read-only transaction");
+  }
+  Status s = protocol_->Write(state, key, std::move(value));
+  if (s.IsAborted()) DoAbort(state);
+  return s;
+}
+
+Status Database::DoCommit(TxnState* state) {
+  if (state->is_read_only() && protocol_->ReadOnlyBypass()) {
+    // end(T) = phi (Figure 2).
+    FinishReadOnly(state);
+    return Status::OK();
+  }
+  Status s = protocol_->Commit(state);
+  if (!s.ok()) {
+    if (s.IsAborted()) DoAbort(state);
+    return s;
+  }
+  state->finished = true;
+  if (state->is_read_only()) {
+    counters_.ro_commits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    counters_.rw_commits.fetch_add(1, std::memory_order_relaxed);
+    if (options_.inline_gc && gc_ != nullptr) {
+      // Amortized collection: sweep only the chains this commit touched.
+      const VersionNumber watermark = gc_->Watermark();
+      for (ObjectKey key : state->write_order) {
+        VersionChain* chain = store_.Find(key);
+        if (chain != nullptr) chain->Prune(watermark);
+      }
+    }
+    if (wal_ != nullptr && !state->write_order.empty()) {
+      CommitBatch batch;
+      batch.txn = state->id;
+      batch.tn = state->tn;
+      batch.writes.reserve(state->write_order.size());
+      for (ObjectKey key : state->write_order) {
+        batch.writes.push_back(LoggedWrite{key, state->write_set[key]});
+      }
+      wal_->Append(std::move(batch));
+    }
+  }
+  if (options_.record_history) RecordHistory(*state);
+  return Status::OK();
+}
+
+void Database::DoAbort(TxnState* state) {
+  if (state->finished) return;
+  if (state->is_read_only() && protocol_->ReadOnlyBypass()) {
+    // A read-only transaction cannot fail; an explicit abort simply ends
+    // it without recording.
+    state->finished = true;
+    if (options_.enable_gc) readers_.Exit(state->tn);
+    counters_.ro_aborts.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  protocol_->Abort(state);
+  state->finished = true;
+  auto& counter =
+      state->is_read_only() ? counters_.ro_aborts : counters_.rw_aborts;
+  counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Database::FinishReadOnly(TxnState* state) {
+  state->finished = true;
+  if (options_.enable_gc) readers_.Exit(state->tn);
+  counters_.ro_commits.fetch_add(1, std::memory_order_relaxed);
+  if (options_.record_history) RecordHistory(*state);
+}
+
+void Database::RecordHistory(const TxnState& state) {
+  TxnRecord record;
+  record.id = state.id;
+  record.cls = state.cls;
+  record.number = state.is_read_only() ? state.sn : state.tn;
+  record.reads.reserve(state.reads.size());
+  for (const ReadEntry& r : state.reads) {
+    record.reads.push_back(RecordedRead{r.key, r.version, r.writer});
+  }
+  record.writes.reserve(state.write_order.size());
+  for (ObjectKey key : state.write_order) {
+    record.writes.push_back(RecordedWrite{key, state.tn});
+  }
+  history_.Record(std::move(record));
+}
+
+}  // namespace mvcc

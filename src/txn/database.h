@@ -1,0 +1,162 @@
+#ifndef MVCC_TXN_DATABASE_H_
+#define MVCC_TXN_DATABASE_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "cc/lock_manager.h"
+#include "cc/protocol.h"
+#include "common/counters.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "gc/garbage_collector.h"
+#include "gc/reader_registry.h"
+#include "history/history.h"
+#include "recovery/wal.h"
+#include "storage/object_store.h"
+#include "txn/transaction.h"
+#include "vc/version_control.h"
+
+namespace mvcc {
+
+// Which synchronization protocol a Database instance runs.
+enum class ProtocolKind {
+  // The paper's framework: version control + pluggable CC.
+  kVc2pl,      // Figure 4: VC + strict two-phase locking
+  kVcTo,       // Figure 3: VC + timestamp ordering
+  kVcOcc,      // references [1,2]: VC + optimistic (backward validation)
+  kVcAdaptive, // Section 1's extensibility claim: OCC <-> 2PL switching
+  // Baselines the paper argues against.
+  kMvto,     // Reed's multiversion timestamp ordering [14]
+  kMv2plCtl, // Chan et al. multiversion 2PL with completed txn lists [7]
+  kSv2pl,    // single-version strict 2PL (no versions to exploit)
+  kWeihlTi,  // Weihl's timestamps-and-initiation rendition [17]
+};
+
+std::string_view ProtocolKindName(ProtocolKind kind);
+
+struct DatabaseOptions {
+  ProtocolKind protocol = ProtocolKind::kVc2pl;
+
+  // Preload keys [0, preload_keys) with `initial_value` as version 0.
+  uint64_t preload_keys = 0;
+  Value initial_value = "0";
+
+  // Deadlock resolution for locking protocols.
+  DeadlockPolicy deadlock_policy = DeadlockPolicy::kWaitDie;
+
+  // Record committed transactions for serializability checking.
+  bool record_history = false;
+
+  // Track active read-only snapshots and enable garbage collection
+  // (VC protocols only).
+  bool enable_gc = false;
+
+  // With enable_gc: additionally prune each written key's chain inline
+  // at commit (amortized collection, no reliance on the background
+  // thread's cadence). This is the "experimentation with garbage
+  // collection algorithms" Section 1 promises the modular split makes
+  // cheap: the policy change touches no protocol code.
+  bool inline_gc = false;
+
+  // Log every committed read-write transaction to an in-memory
+  // write-ahead log, enabling crash recovery via RecoverDatabase().
+  bool enable_wal = false;
+
+  // Sharding of the object store and protocol tables.
+  size_t store_shards = 64;
+
+  // Fault injection: pause between per-key installs at commit (tests and
+  // ablations only). See ProtocolEnv::install_pause_ns.
+  int64_t install_pause_ns = 0;
+};
+
+// The top-level multiversion database: object store + version control +
+// one synchronization protocol. This is the primary public API.
+//
+//   DatabaseOptions opts;
+//   opts.protocol = ProtocolKind::kVc2pl;
+//   opts.preload_keys = 1000;
+//   Database db(opts);
+//   auto writer = db.Begin(TxnClass::kReadWrite);
+//   writer->Write(7, "hello");
+//   writer->Commit();
+//   auto reader = db.Begin(TxnClass::kReadOnly);
+//   auto value = reader->Read(7);
+//
+// Thread-safe: any number of threads may run transactions concurrently;
+// each Transaction handle belongs to one thread.
+class Database {
+ public:
+  explicit Database(DatabaseOptions options);
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // Starts a transaction. Unknown workloads must use kReadWrite
+  // (Section 4.1: unknown category defaults to read-write).
+  std::unique_ptr<Transaction> Begin(TxnClass cls);
+
+  // Starts a read-only transaction whose snapshot is guaranteed to
+  // include the effects of the read-write transaction numbered
+  // `at_least` — the currency fix of Section 6. Blocks until vtnc
+  // reaches that number. VC protocols only.
+  std::unique_ptr<Transaction> BeginReadOnlyAtLeast(TxnNumber at_least);
+
+  // Single-operation conveniences (each runs its own transaction).
+  Result<Value> Get(ObjectKey key);
+  Status Put(ObjectKey key, Value value);
+
+  // Starts the background garbage collector (requires enable_gc).
+  void StartGc(std::chrono::milliseconds interval);
+  void StopGc();
+
+  ObjectStore& store() { return store_; }
+  VersionControl& version_control() { return vc_; }
+  // Non-null when enable_wal was set.
+  WriteAheadLog* wal() { return wal_.get(); }
+  EventCounters& counters() { return counters_; }
+  History* history() { return options_.record_history ? &history_ : nullptr; }
+  GarbageCollector* gc() { return gc_.get(); }
+  ReaderRegistry& reader_registry() { return readers_; }
+  Protocol& protocol() { return *protocol_; }
+  const DatabaseOptions& options() const { return options_; }
+
+  // Visibility lag tnc - vtnc expressed in pending registrations
+  // (VC protocols; Section 6's "delayed visibility" metric).
+  uint64_t VisibilityLag() const;
+
+ private:
+  friend class Transaction;
+
+  // Transaction-layer operations, called by Transaction.
+  Result<Value> DoRead(TxnState* state, ObjectKey key);
+  Result<std::vector<std::pair<ObjectKey, Value>>> DoScan(TxnState* state,
+                                                          ObjectKey lo,
+                                                          ObjectKey hi);
+  Status DoWrite(TxnState* state, ObjectKey key, Value value);
+  Status DoCommit(TxnState* state);
+  void DoAbort(TxnState* state);
+
+  void RecordHistory(const TxnState& state);
+  void FinishReadOnly(TxnState* state);
+
+  DatabaseOptions options_;
+  ObjectStore store_;
+  VersionControl vc_;
+  EventCounters counters_;
+  History history_;
+  ReaderRegistry readers_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  std::unique_ptr<Protocol> protocol_;
+  std::unique_ptr<GarbageCollector> gc_;
+  std::atomic<TxnId> next_txn_id_{1};
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_TXN_DATABASE_H_

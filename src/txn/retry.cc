@@ -1,0 +1,42 @@
+#include "txn/retry.h"
+
+namespace mvcc {
+
+namespace {
+
+Status RunWithRetry(Database* db, TxnClass cls,
+                    const std::function<Status(Transaction&)>& body,
+                    const RetryOptions& options) {
+  int attempts = 0;
+  while (true) {
+    ++attempts;
+    auto txn = db->Begin(cls);
+    Status s = body(*txn);
+    if (s.ok()) {
+      s = txn->Commit();
+      if (s.ok()) return s;
+    }
+    if (txn->active()) txn->Abort();
+    if (!s.IsAborted()) return s;  // genuine failure: do not retry
+    if (options.max_attempts > 0 && attempts >= options.max_attempts) {
+      return Status::Aborted("transaction still aborting after " +
+                             std::to_string(attempts) + " attempts");
+    }
+  }
+}
+
+}  // namespace
+
+Status RunReadWriteTransaction(
+    Database* db, const std::function<Status(Transaction&)>& body,
+    const RetryOptions& options) {
+  return RunWithRetry(db, TxnClass::kReadWrite, body, options);
+}
+
+Status RunReadOnlyTransaction(
+    Database* db, const std::function<Status(Transaction&)>& body,
+    const RetryOptions& options) {
+  return RunWithRetry(db, TxnClass::kReadOnly, body, options);
+}
+
+}  // namespace mvcc

@@ -1,0 +1,44 @@
+#ifndef MVCC_TXN_RETRY_H_
+#define MVCC_TXN_RETRY_H_
+
+#include <functional>
+
+#include "common/result.h"
+#include "txn/database.h"
+
+namespace mvcc {
+
+struct RetryOptions {
+  // Give up after this many aborted attempts (0 = unlimited).
+  int max_attempts = 64;
+};
+
+// Runs `body` inside a read-write transaction, retrying from scratch on
+// every abort (CC conflict, deadlock victim, validation failure) until
+// it commits or the attempt budget runs out. This is how applications
+// are expected to consume conflict-based protocols: an abort is not an
+// error, it is a request to try again.
+//
+//   Status s = RunReadWriteTransaction(&db, [&](Transaction& txn) {
+//     auto v = txn.Read(7);
+//     if (!v.ok()) return v.status();
+//     return txn.Write(7, Increment(*v));
+//   });
+//
+// The body returns OK to request commit, or any status to stop:
+// kAborted statuses trigger a retry; other failures are returned as-is
+// (after aborting the attempt).
+Status RunReadWriteTransaction(
+    Database* db, const std::function<Status(Transaction&)>& body,
+    const RetryOptions& options = {});
+
+// Read-only variant. Retries are never needed for the VC protocols
+// (readers cannot abort); under the baselines a reader can be a
+// deadlock victim, and this loop absorbs that.
+Status RunReadOnlyTransaction(
+    Database* db, const std::function<Status(Transaction&)>& body,
+    const RetryOptions& options = {});
+
+}  // namespace mvcc
+
+#endif  // MVCC_TXN_RETRY_H_

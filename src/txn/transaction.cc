@@ -1,0 +1,47 @@
+#include "txn/transaction.h"
+
+#include <utility>
+
+#include "txn/database.h"
+
+namespace mvcc {
+
+Transaction::~Transaction() {
+  if (!state_.finished) Abort();
+}
+
+Result<Value> Transaction::Read(ObjectKey key) {
+  if (state_.finished) {
+    return Status::InvalidArgument("transaction already finished");
+  }
+  return db_->DoRead(&state_, key);
+}
+
+Result<std::vector<std::pair<ObjectKey, Value>>> Transaction::Scan(
+    ObjectKey lo, ObjectKey hi) {
+  if (state_.finished) {
+    return Status::InvalidArgument("transaction already finished");
+  }
+  return db_->DoScan(&state_, lo, hi);
+}
+
+Status Transaction::Write(ObjectKey key, Value value) {
+  if (state_.finished) {
+    return Status::InvalidArgument("transaction already finished");
+  }
+  return db_->DoWrite(&state_, key, std::move(value));
+}
+
+Status Transaction::Commit() {
+  if (state_.finished) {
+    return Status::InvalidArgument("transaction already finished");
+  }
+  return db_->DoCommit(&state_);
+}
+
+void Transaction::Abort() {
+  if (state_.finished) return;
+  db_->DoAbort(&state_);
+}
+
+}  // namespace mvcc

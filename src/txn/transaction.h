@@ -1,0 +1,83 @@
+#ifndef MVCC_TXN_TRANSACTION_H_
+#define MVCC_TXN_TRANSACTION_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "txn/txn_context.h"
+
+namespace mvcc {
+
+class Database;
+
+// A user-facing transaction handle. Obtained from Database::Begin();
+// destroyed handles that were neither committed nor aborted are aborted
+// automatically. Not thread-safe: one transaction is driven by one thread
+// (the model's total order <_i over a transaction's operations).
+class Transaction {
+ public:
+  ~Transaction();
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  // Reads object `key`. For read-only transactions under the VC
+  // protocols: the version with the largest number <= sn(T), with no
+  // concurrency control interaction whatsoever (Figure 2). Never blocks.
+  // For read-write transactions: per the active protocol; may return
+  // kAborted, after which the transaction is already aborted.
+  Result<Value> Read(ObjectKey key);
+
+  // Range scan over [lo, hi], ascending. For read-only transactions
+  // under the VC protocols this is a snapshot scan — phantom-free with
+  // no locking, because objects created after the snapshot have no
+  // version <= sn(T). For read-write transactions it is delegated to
+  // the protocol: 2PL excludes phantoms with range locks, OCC by
+  // validating scanned ranges against later writers; TO and the
+  // baselines return InvalidArgument.
+  Result<std::vector<std::pair<ObjectKey, Value>>> Scan(ObjectKey lo,
+                                                        ObjectKey hi);
+
+  // Buffers a write of `value` to `key`. InvalidArgument on read-only
+  // transactions; kAborted if the protocol rejects the operation (the
+  // transaction is then already aborted).
+  Status Write(ObjectKey key, Value value);
+
+  // Commits. On OK the transaction's effects are installed; read-only
+  // commits are a no-op by construction ("end(T): phi", Figure 2).
+  // Returns kAborted if the protocol aborted at commit time (e.g. OCC
+  // validation); the transaction is then already aborted.
+  Status Commit();
+
+  // Aborts explicitly. Idempotent once finished.
+  void Abort();
+
+  TxnId id() const { return state_.id; }
+  TxnClass txn_class() const { return state_.cls; }
+  bool active() const { return !state_.finished; }
+
+  // sn(T). For read-only transactions: the snapshot number.
+  TxnNumber start_number() const { return state_.sn; }
+
+  // tn(T); valid for read-write transactions once registered (after a
+  // successful Commit for 2PL/OCC, from begin for TO). Read-only
+  // transactions report their start number (tn = sn, Figure 2).
+  TxnNumber txn_number() const {
+    return state_.is_read_only() ? state_.sn : state_.tn;
+  }
+
+  const TxnState& state() const { return state_; }
+
+ private:
+  friend class Database;
+  explicit Transaction(Database* db) : db_(db) {}
+
+  Database* db_;
+  TxnState state_;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_TXN_TRANSACTION_H_

@@ -1,0 +1,71 @@
+#ifndef MVCC_TXN_TXN_CONTEXT_H_
+#define MVCC_TXN_TXN_CONTEXT_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "storage/version.h"
+
+namespace mvcc {
+
+// Protocol-private per-transaction state. Each concurrency control
+// implementation derives its own scratch type; the transaction layer only
+// owns the pointer.
+struct ProtocolTxnData {
+  virtual ~ProtocolTxnData() = default;
+};
+
+// One logical read performed by a transaction, with the version it
+// returned. Used for history recording and OCC validation.
+struct ReadEntry {
+  ObjectKey key;
+  VersionNumber version;
+  TxnId writer;  // creator of the version read (0 = initial load)
+};
+
+// Per-transaction state shared between the transaction layer and the
+// concurrency control protocols.
+struct TxnState {
+  TxnId id = 0;
+  TxnClass cls = TxnClass::kReadWrite;
+
+  // Start number sn(T): vtnc at begin for read-only transactions,
+  // kInfiniteTxnNumber for read-write transactions under 2PL, tn(T)
+  // under timestamp ordering.
+  TxnNumber sn = kInvalidTxnNumber;
+
+  // Transaction number tn(T), valid once `registered` is true.
+  TxnNumber tn = kInvalidTxnNumber;
+  bool registered = false;
+
+  bool finished = false;  // committed or aborted
+
+  // Buffered (pending) writes: the uncommitted versions "phi" of Figure 4.
+  // write_order preserves first-write order for deterministic installs.
+  std::unordered_map<ObjectKey, Value> write_set;
+  std::vector<ObjectKey> write_order;
+
+  // Reads performed so far (committed versions only).
+  std::vector<ReadEntry> reads;
+
+  // Protocol-specific scratch (lock list, OCC start point, ...).
+  std::unique_ptr<ProtocolTxnData> cc_data;
+
+  bool is_read_only() const { return cls == TxnClass::kReadOnly; }
+
+  // Records a buffered write, preserving first-write order.
+  void BufferWrite(ObjectKey key, Value value) {
+    auto [it, inserted] = write_set.try_emplace(key, std::move(value));
+    if (inserted) {
+      write_order.push_back(key);
+    } else {
+      it->second = std::move(value);
+    }
+  }
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_TXN_TXN_CONTEXT_H_

@@ -1,0 +1,42 @@
+#include "vc/vc_queue.h"
+
+#include "common/check.h"
+
+namespace mvcc {
+
+void VcQueue::Insert(TxnNumber tn, TxnId txn) {
+  auto [it, inserted] = entries_.emplace(tn, Entry{txn, false});
+  (void)it;
+  MVCC_CHECK(inserted && "duplicate transaction number in VCQueue");
+}
+
+void VcQueue::MarkComplete(TxnNumber tn) {
+  auto it = entries_.find(tn);
+  if (it != entries_.end()) it->second.complete = true;
+}
+
+void VcQueue::Erase(TxnNumber tn) { entries_.erase(tn); }
+
+std::optional<TxnNumber> VcQueue::DrainCompletedHead() {
+  std::optional<TxnNumber> last_popped;
+  while (!entries_.empty() && entries_.begin()->second.complete) {
+    last_popped = entries_.begin()->first;
+    entries_.erase(entries_.begin());
+  }
+  return last_popped;
+}
+
+bool VcQueue::HasActiveAtOrBelow(TxnNumber bound) const {
+  for (const auto& [tn, entry] : entries_) {
+    if (tn > bound) break;
+    if (!entry.complete) return true;
+  }
+  return false;
+}
+
+std::optional<TxnNumber> VcQueue::OldestNumber() const {
+  if (entries_.empty()) return std::nullopt;
+  return entries_.begin()->first;
+}
+
+}  // namespace mvcc

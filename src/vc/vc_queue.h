@@ -1,0 +1,58 @@
+#ifndef MVCC_VC_VC_QUEUE_H_
+#define MVCC_VC_VC_QUEUE_H_
+
+#include <cstddef>
+#include <map>
+#include <optional>
+
+#include "common/ids.h"
+
+namespace mvcc {
+
+// The paper's VCQueue (Figure 1): the ordered list of read-write
+// transactions that have been assigned a transaction number and are still
+// active, or have completed but are waiting behind an older active
+// transaction. Ordering is by transaction number, which is the serial
+// order. Not internally synchronized: VersionControl owns the lock.
+class VcQueue {
+ public:
+  VcQueue() = default;
+
+  // Inserts an active entry for transaction `txn` with number `tn`.
+  // tn must not already be present.
+  void Insert(TxnNumber tn, TxnId txn);
+
+  // Marks the entry with number `tn` complete. No-op if absent.
+  void MarkComplete(TxnNumber tn);
+
+  // Removes the entry with number `tn` (the paper's VCdiscard on abort).
+  void Erase(TxnNumber tn);
+
+  // Pops completed entries from the head while the head is complete
+  // (the WHILE loop of VCcomplete). Returns the number of the last entry
+  // popped — the new vtnc — or nullopt if the head was active or the
+  // queue empty.
+  std::optional<TxnNumber> DrainCompletedHead();
+
+  // True if some entry with tn <= bound is still marked active.
+  bool HasActiveAtOrBelow(TxnNumber bound) const;
+
+  // Number of the oldest entry still in the queue, if any.
+  std::optional<TxnNumber> OldestNumber() const;
+
+  bool Contains(TxnNumber tn) const { return entries_.count(tn) != 0; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  struct Entry {
+    TxnId txn = 0;
+    bool complete = false;
+  };
+
+  std::map<TxnNumber, Entry> entries_;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_VC_VC_QUEUE_H_

@@ -1,0 +1,97 @@
+#include "vc/version_control.h"
+
+#include <cassert>
+
+#include "common/check.h"
+
+namespace mvcc {
+
+VersionControl::VersionControl(NumberingMode mode) : mode_(mode) {}
+
+TxnNumber VersionControl::Register(TxnId txn, uint32_t tiebreak) {
+  std::lock_guard<std::mutex> guard(mu_);
+  const TxnNumber tn = MakeNumber(counter_++, tiebreak);
+  queue_.Insert(tn, txn);
+  return tn;
+}
+
+void VersionControl::Discard(TxnNumber tn) {
+  bool advanced = false;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    queue_.Erase(tn);
+    // Deviation from Figure 1 (see header): the erased entry may have been
+    // blocking a completed suffix at the head.
+    if (auto new_vtnc = queue_.DrainCompletedHead()) {
+      vtnc_.store(*new_vtnc, std::memory_order_release);
+      advanced = true;
+    }
+  }
+  (void)advanced;
+  cv_.notify_all();
+}
+
+void VersionControl::Complete(TxnNumber tn) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    queue_.MarkComplete(tn);
+    if (auto new_vtnc = queue_.DrainCompletedHead()) {
+      MVCC_CHECK(*new_vtnc >= vtnc_.load(std::memory_order_relaxed));
+      vtnc_.store(*new_vtnc, std::memory_order_release);
+    }
+  }
+  cv_.notify_all();
+}
+
+void VersionControl::Promote(TxnNumber from, TxnNumber to) {
+  if (from == to) {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (CounterPart(to) >= counter_) counter_ = CounterPart(to) + 1;
+    return;
+  }
+  std::lock_guard<std::mutex> guard(mu_);
+  MVCC_CHECK(to > from && "promotion must move forward in serial order");
+  MVCC_CHECK(queue_.Contains(from));
+  queue_.Erase(from);
+  queue_.Insert(to, /*txn=*/0);
+  if (CounterPart(to) >= counter_) counter_ = CounterPart(to) + 1;
+}
+
+void VersionControl::AdvanceCounterPast(TxnNumber tn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  const uint64_t needed = CounterPart(tn) + 1;
+  if (counter_ < needed) counter_ = needed;
+}
+
+void VersionControl::RecoverTo(TxnNumber last_committed) {
+  std::lock_guard<std::mutex> guard(mu_);
+  MVCC_CHECK(queue_.empty() && "recovery with transactions in flight");
+  vtnc_.store(last_committed, std::memory_order_release);
+  const uint64_t needed = CounterPart(last_committed) + 1;
+  if (counter_ < needed) counter_ = needed;
+}
+
+void VersionControl::WaitNoActiveAtOrBelow(TxnNumber sn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this, sn] { return !queue_.HasActiveAtOrBelow(sn); });
+}
+
+TxnNumber VersionControl::StartAtLeast(TxnNumber tn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this, tn] {
+    return vtnc_.load(std::memory_order_acquire) >= tn;
+  });
+  return vtnc_.load(std::memory_order_acquire);
+}
+
+TxnNumber VersionControl::NextNumber() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return MakeNumber(counter_, 0);
+}
+
+size_t VersionControl::QueueSize() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return queue_.size();
+}
+
+}  // namespace mvcc

@@ -1,0 +1,52 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+namespace mvcc {
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadSpec& spec,
+                                     uint64_t stream)
+    : spec_(spec),
+      rng_(spec.seed * 0x100000001B3ULL + stream),
+      zipf_(spec.num_keys == 0 ? 1 : spec.num_keys, spec.zipf_theta) {}
+
+TxnPlan WorkloadGenerator::Next() {
+  TxnPlan plan;
+  const bool read_only = rng_.Bernoulli(spec_.read_only_fraction);
+  plan.cls = read_only ? TxnClass::kReadOnly : TxnClass::kReadWrite;
+  const int ops = read_only ? spec_.ro_ops : spec_.rw_ops;
+  plan.ops.reserve(ops);
+  bool has_write = false;
+  for (int i = 0; i < ops; ++i) {
+    PlannedOp op;
+    op.key = zipf_.Next(&rng_);
+    if (rng_.Bernoulli(spec_.scan_fraction)) {
+      op.is_scan = true;
+      op.span = static_cast<ObjectKey>(
+          spec_.scan_span > 0 ? spec_.scan_span : 1);
+    } else {
+      op.is_write = !read_only && rng_.Bernoulli(spec_.write_fraction);
+    }
+    has_write |= op.is_write;
+    plan.ops.push_back(op);
+  }
+  // A read-write transaction executes at least one write action
+  // (Section 4.1's classification); force the last op if none landed.
+  if (!read_only && !has_write && !plan.ops.empty()) {
+    PlannedOp& last = plan.ops.back();
+    last.is_write = true;
+    last.is_scan = false;
+    last.span = 0;
+  }
+  return plan;
+}
+
+Value WorkloadGenerator::MakeValue(uint64_t tag) const {
+  Value v(std::max(spec_.value_size, 1), 'v');
+  for (size_t i = 0; i < v.size() && tag != 0; ++i, tag >>= 8) {
+    v[i] = static_cast<char>('a' + (tag & 0x0F));
+  }
+  return v;
+}
+
+}  // namespace mvcc

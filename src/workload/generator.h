@@ -1,0 +1,33 @@
+#ifndef MVCC_WORKLOAD_GENERATOR_H_
+#define MVCC_WORKLOAD_GENERATOR_H_
+
+#include <string>
+
+#include "common/random.h"
+#include "common/zipf.h"
+#include "workload/workload.h"
+
+namespace mvcc {
+
+// Deterministic per-thread transaction planner. Two generators built from
+// the same spec and seed produce identical plans, which keeps property
+// tests and experiments reproducible.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const WorkloadSpec& spec, uint64_t stream);
+
+  // Plans the next transaction.
+  TxnPlan Next();
+
+  // A write payload of spec.value_size bytes derived from `tag`.
+  Value MakeValue(uint64_t tag) const;
+
+ private:
+  WorkloadSpec spec_;
+  Random rng_;
+  ZipfGenerator zipf_;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_WORKLOAD_GENERATOR_H_

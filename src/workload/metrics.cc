@@ -1,0 +1,17 @@
+#include "workload/metrics.h"
+
+#include <sstream>
+
+namespace mvcc {
+
+std::string RunResult::Summary() const {
+  std::ostringstream os;
+  os << "commits=" << committed() << " (ro=" << committed_ro
+     << " rw=" << committed_rw << ") aborts=" << aborted()
+     << " thr=" << static_cast<uint64_t>(Throughput()) << "/s"
+     << " ro_p50=" << ro_latency.Percentile(0.5) << "ns"
+     << " rw_p50=" << rw_latency.Percentile(0.5) << "ns";
+  return os.str();
+}
+
+}  // namespace mvcc

@@ -1,0 +1,50 @@
+#ifndef MVCC_WORKLOAD_METRICS_H_
+#define MVCC_WORKLOAD_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/counters.h"
+#include "common/histogram.h"
+
+namespace mvcc {
+
+// Aggregated outcome of one workload run.
+struct RunResult {
+  uint64_t committed_ro = 0;
+  uint64_t committed_rw = 0;
+  uint64_t aborted_ro = 0;
+  uint64_t aborted_rw = 0;
+  double seconds = 0.0;
+
+  Histogram ro_latency;  // commit-to-begin latency of read-only txns (ns)
+  Histogram rw_latency;
+
+  EventCounters::Snapshot events{};
+
+  // Visibility lag samples (VCQueue length), if the run sampled them.
+  Histogram lag_samples;
+
+  uint64_t committed() const { return committed_ro + committed_rw; }
+  uint64_t aborted() const { return aborted_ro + aborted_rw; }
+  double Throughput() const {
+    return seconds > 0 ? static_cast<double>(committed()) / seconds : 0.0;
+  }
+  double AbortRate() const {
+    const uint64_t attempts = committed() + aborted();
+    return attempts == 0 ? 0.0
+                         : static_cast<double>(aborted()) / attempts;
+  }
+  double RwAbortRate() const {
+    const uint64_t attempts = committed_rw + aborted_rw;
+    return attempts == 0 ? 0.0
+                         : static_cast<double>(aborted_rw) / attempts;
+  }
+
+  // One-line summary for logs.
+  std::string Summary() const;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_WORKLOAD_METRICS_H_

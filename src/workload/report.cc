@@ -1,0 +1,88 @@
+#include "workload/report.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
+namespace mvcc {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+Table& Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+namespace {
+
+// Quotes a CSV cell when it contains separators or quotes.
+std::string CsvCell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) os << ',';
+      os << CsvCell(row[i]);
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+  os.flush();
+}
+
+void Table::Print(std::ostream& os) const {
+  const char* csv = std::getenv("MVCC_BENCH_CSV");
+  if (csv != nullptr && csv[0] == '1') {
+    PrintCsv(os);
+    return;
+  }
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[i]))
+         << row[i] << " |";
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  os << "|";
+  for (size_t w : widths) os << ' ' << std::string(w, '-') << " |";
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+  os.flush();
+}
+
+std::string Table::Num(uint64_t v) { return std::to_string(v); }
+
+std::string Table::Num(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+std::string Table::Bool(bool v) { return v ? "yes" : "no"; }
+
+}  // namespace mvcc

@@ -1,0 +1,36 @@
+#ifndef MVCC_WORKLOAD_REPORT_H_
+#define MVCC_WORKLOAD_REPORT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mvcc {
+
+// Plain-text aligned table, used by the benchmark harness to print the
+// rows recorded in EXPERIMENTS.md.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& AddRow(std::vector<std::string> cells);
+
+  // Aligned ASCII by default; set MVCC_BENCH_CSV=1 in the environment
+  // (or call PrintCsv directly) to emit machine-readable CSV instead.
+  void Print(std::ostream& os) const;
+  void PrintCsv(std::ostream& os) const;
+
+  // Cell formatting helpers.
+  static std::string Num(uint64_t v);
+  static std::string Num(double v, int decimals = 2);
+  static std::string Bool(bool v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_WORKLOAD_REPORT_H_

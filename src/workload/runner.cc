@@ -1,0 +1,113 @@
+#include "workload/runner.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "workload/generator.h"
+
+namespace mvcc {
+
+namespace {
+
+struct ThreadResult {
+  uint64_t committed_ro = 0;
+  uint64_t committed_rw = 0;
+  uint64_t aborted_ro = 0;
+  uint64_t aborted_rw = 0;
+  Histogram ro_latency;
+  Histogram rw_latency;
+  Histogram lag_samples;
+};
+
+// Executes one planned transaction; returns true when it committed.
+bool ExecutePlan(Database* db, WorkloadGenerator* gen, const TxnPlan& plan) {
+  auto txn = db->Begin(plan.cls);
+  for (const PlannedOp& op : plan.ops) {
+    if (op.is_scan) {
+      auto rows = txn->Scan(op.key, op.key + (op.span ? op.span - 1 : 0));
+      if (!rows.ok() && rows.status().IsAborted()) return false;
+      // InvalidArgument (protocol without scans) and empty results are
+      // tolerated: the op degrades to a no-op.
+    } else if (op.is_write) {
+      Status s = txn->Write(op.key, gen->MakeValue(op.key ^ txn->id()));
+      if (!s.ok()) return false;
+    } else {
+      Result<Value> v = txn->Read(op.key);
+      if (!v.ok() && v.status().IsAborted()) return false;
+      // NotFound (no visible version yet) is tolerated: the transaction
+      // simply observed the object's absence.
+    }
+  }
+  return txn->Commit().ok();
+}
+
+}  // namespace
+
+RunResult RunWorkload(Database* db, const WorkloadSpec& spec,
+                      const RunOptions& options) {
+  const int threads = options.threads < 1 ? 1 : options.threads;
+  std::vector<ThreadResult> results(threads);
+  std::atomic<bool> stop{false};
+
+  const int64_t start_ns = NowNanos();
+  const int64_t deadline_ns =
+      start_ns + static_cast<int64_t>(options.duration_ms) * 1000000;
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      WorkloadGenerator gen(spec, static_cast<uint64_t>(t) + 1);
+      ThreadResult& local = results[t];
+      uint64_t executed = 0;
+      while (true) {
+        if (options.txns_per_thread > 0) {
+          if (executed >= options.txns_per_thread) break;
+        } else if (stop.load(std::memory_order_relaxed)) {
+          break;
+        }
+        const TxnPlan plan = gen.Next();
+        const int64_t begin = NowNanos();
+        const bool ok = ExecutePlan(db, &gen, plan);
+        const int64_t elapsed = NowNanos() - begin;
+        ++executed;
+        const bool ro = plan.cls == TxnClass::kReadOnly;
+        if (ok) {
+          (ro ? local.committed_ro : local.committed_rw) += 1;
+          (ro ? local.ro_latency : local.rw_latency).Add(elapsed);
+        } else {
+          (ro ? local.aborted_ro : local.aborted_rw) += 1;
+        }
+        if (t == 0 && options.lag_sample_every > 0 &&
+            executed % options.lag_sample_every == 0) {
+          local.lag_samples.Add(
+              static_cast<int64_t>(db->VisibilityLag()));
+        }
+        if (options.txns_per_thread == 0 && (executed & 0x3F) == 0 &&
+            NowNanos() >= deadline_ns) {
+          stop.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const int64_t end_ns = NowNanos();
+
+  RunResult out;
+  out.seconds = static_cast<double>(end_ns - start_ns) / 1e9;
+  for (const ThreadResult& r : results) {
+    out.committed_ro += r.committed_ro;
+    out.committed_rw += r.committed_rw;
+    out.aborted_ro += r.aborted_ro;
+    out.aborted_rw += r.aborted_rw;
+    out.ro_latency.Merge(r.ro_latency);
+    out.rw_latency.Merge(r.rw_latency);
+    out.lag_samples.Merge(r.lag_samples);
+  }
+  out.events = db->counters().Snap();
+  return out;
+}
+
+}  // namespace mvcc

@@ -1,0 +1,34 @@
+#ifndef MVCC_WORKLOAD_RUNNER_H_
+#define MVCC_WORKLOAD_RUNNER_H_
+
+#include <cstdint>
+
+#include "txn/database.h"
+#include "workload/metrics.h"
+#include "workload/workload.h"
+
+namespace mvcc {
+
+// Execution parameters of a workload run.
+struct RunOptions {
+  int threads = 4;
+
+  // Run until this many milliseconds elapse, unless txns_per_thread > 0,
+  // in which case each thread runs exactly that many transactions.
+  int duration_ms = 1000;
+  uint64_t txns_per_thread = 0;
+
+  // Sample the visibility lag (VCQueue length) every N committed
+  // transactions on thread 0; 0 disables sampling.
+  uint64_t lag_sample_every = 0;
+};
+
+// Runs `spec` against `db` with real OS threads. Aborted transactions are
+// counted and the thread moves on to a fresh plan (no retry of the same
+// plan, so measured throughput is committed work).
+RunResult RunWorkload(Database* db, const WorkloadSpec& spec,
+                      const RunOptions& options);
+
+}  // namespace mvcc
+
+#endif  // MVCC_WORKLOAD_RUNNER_H_

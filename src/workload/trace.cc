@@ -1,0 +1,164 @@
+#include "workload/trace.h"
+
+#include <cstring>
+#include <thread>
+
+#include "common/clock.h"
+#include "workload/generator.h"
+
+namespace mvcc {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x4D56434354523031ULL;  // "MVCCTR01"
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+bool GetU64(const std::string& in, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, 8);
+  *pos += 8;
+  return true;
+}
+
+}  // namespace
+
+std::string Trace::Serialize() const {
+  std::string out;
+  PutU64(&out, kMagic);
+  PutU64(&out, threads.size());
+  for (const auto& plans : threads) {
+    PutU64(&out, plans.size());
+    for (const TxnPlan& plan : plans) {
+      PutU64(&out, plan.cls == TxnClass::kReadOnly ? 1 : 0);
+      PutU64(&out, plan.ops.size());
+      for (const PlannedOp& op : plan.ops) {
+        PutU64(&out, (op.is_write ? 1u : 0u) | (op.is_scan ? 2u : 0u));
+        PutU64(&out, op.key);
+        PutU64(&out, op.span);
+      }
+    }
+  }
+  return out;
+}
+
+Result<Trace> Trace::Deserialize(const std::string& image) {
+  size_t pos = 0;
+  uint64_t magic = 0;
+  if (!GetU64(image, &pos, &magic) || magic != kMagic) {
+    return Status::InvalidArgument("bad trace image magic");
+  }
+  Trace trace;
+  uint64_t num_threads = 0;
+  if (!GetU64(image, &pos, &num_threads)) {
+    return Status::InvalidArgument("truncated trace header");
+  }
+  trace.threads.resize(num_threads);
+  for (auto& plans : trace.threads) {
+    uint64_t num_plans = 0;
+    if (!GetU64(image, &pos, &num_plans)) {
+      return Status::InvalidArgument("truncated trace (plan count)");
+    }
+    plans.resize(num_plans);
+    for (TxnPlan& plan : plans) {
+      uint64_t ro = 0, num_ops = 0;
+      if (!GetU64(image, &pos, &ro) || !GetU64(image, &pos, &num_ops)) {
+        return Status::InvalidArgument("truncated trace (plan header)");
+      }
+      plan.cls = ro != 0 ? TxnClass::kReadOnly : TxnClass::kReadWrite;
+      plan.ops.resize(num_ops);
+      for (PlannedOp& op : plan.ops) {
+        uint64_t flags = 0;
+        if (!GetU64(image, &pos, &flags) ||
+            !GetU64(image, &pos, &op.key) ||
+            !GetU64(image, &pos, &op.span)) {
+          return Status::InvalidArgument("truncated trace (op)");
+        }
+        op.is_write = (flags & 1) != 0;
+        op.is_scan = (flags & 2) != 0;
+      }
+    }
+  }
+  if (pos != image.size()) {
+    return Status::InvalidArgument("trailing bytes in trace image");
+  }
+  return trace;
+}
+
+Trace Trace::Generate(const WorkloadSpec& spec, int threads,
+                      uint64_t txns_per_thread) {
+  Trace trace;
+  trace.threads.resize(threads < 1 ? 1 : threads);
+  for (size_t t = 0; t < trace.threads.size(); ++t) {
+    WorkloadGenerator gen(spec, t + 1);
+    trace.threads[t].reserve(txns_per_thread);
+    for (uint64_t i = 0; i < txns_per_thread; ++i) {
+      trace.threads[t].push_back(gen.Next());
+    }
+  }
+  return trace;
+}
+
+RunResult ReplayTrace(Database* db, const Trace& trace) {
+  struct ThreadResult {
+    uint64_t committed_ro = 0, committed_rw = 0;
+    uint64_t aborted_ro = 0, aborted_rw = 0;
+    Histogram ro_latency, rw_latency;
+  };
+  std::vector<ThreadResult> results(trace.threads.size());
+  const int64_t start_ns = NowNanos();
+  std::vector<std::thread> workers;
+  workers.reserve(trace.threads.size());
+  for (size_t t = 0; t < trace.threads.size(); ++t) {
+    workers.emplace_back([db, &trace, &results, t] {
+      ThreadResult& local = results[t];
+      for (const TxnPlan& plan : trace.threads[t]) {
+        const int64_t begin = NowNanos();
+        auto txn = db->Begin(plan.cls);
+        bool dead = false;
+        for (const PlannedOp& op : plan.ops) {
+          if (op.is_scan) {
+            auto rows =
+                txn->Scan(op.key, op.key + (op.span ? op.span - 1 : 0));
+            dead = !rows.ok() && rows.status().IsAborted();
+          } else if (op.is_write) {
+            dead = !txn->Write(op.key, std::to_string(op.key)).ok();
+          } else {
+            auto r = txn->Read(op.key);
+            dead = !r.ok() && r.status().IsAborted();
+          }
+          if (dead) break;
+        }
+        const bool ok = !dead && txn->Commit().ok();
+        const int64_t elapsed = NowNanos() - begin;
+        const bool ro = plan.cls == TxnClass::kReadOnly;
+        if (ok) {
+          (ro ? local.committed_ro : local.committed_rw) += 1;
+          (ro ? local.ro_latency : local.rw_latency).Add(elapsed);
+        } else {
+          (ro ? local.aborted_ro : local.aborted_rw) += 1;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  RunResult out;
+  out.seconds = static_cast<double>(NowNanos() - start_ns) / 1e9;
+  for (const ThreadResult& r : results) {
+    out.committed_ro += r.committed_ro;
+    out.committed_rw += r.committed_rw;
+    out.aborted_ro += r.aborted_ro;
+    out.aborted_rw += r.aborted_rw;
+    out.ro_latency.Merge(r.ro_latency);
+    out.rw_latency.Merge(r.rw_latency);
+  }
+  out.events = db->counters().Snap();
+  return out;
+}
+
+}  // namespace mvcc

@@ -1,0 +1,44 @@
+#ifndef MVCC_WORKLOAD_TRACE_H_
+#define MVCC_WORKLOAD_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "txn/database.h"
+#include "workload/metrics.h"
+#include "workload/workload.h"
+
+namespace mvcc {
+
+// A fully materialized multi-threaded workload: thread t executes
+// threads[t] in order. Traces make protocol comparisons exactly
+// apples-to-apples (every protocol sees the identical operation
+// sequences) and make interesting schedules reproducible from a file.
+struct Trace {
+  std::vector<std::vector<TxnPlan>> threads;
+
+  size_t TotalTxns() const {
+    size_t total = 0;
+    for (const auto& t : threads) total += t.size();
+    return total;
+  }
+
+  // Length-prefixed binary image (same framing style as the WAL).
+  std::string Serialize() const;
+  static Result<Trace> Deserialize(const std::string& image);
+
+  // Materializes `txns_per_thread` transactions per thread from the
+  // deterministic generator.
+  static Trace Generate(const WorkloadSpec& spec, int threads,
+                        uint64_t txns_per_thread);
+};
+
+// Replays the trace against `db` with one OS thread per trace thread.
+// Aborted transactions are counted and skipped (not retried), exactly
+// like RunWorkload.
+RunResult ReplayTrace(Database* db, const Trace& trace);
+
+}  // namespace mvcc
+
+#endif  // MVCC_WORKLOAD_TRACE_H_

@@ -1,0 +1,16 @@
+#include "workload/workload.h"
+
+#include <sstream>
+
+namespace mvcc {
+
+std::string WorkloadSpec::Describe() const {
+  std::ostringstream os;
+  os << "keys=" << num_keys << " zipf=" << zipf_theta
+     << " ro_frac=" << read_only_fraction << " ro_ops=" << ro_ops
+     << " rw_ops=" << rw_ops << " write_frac=" << write_fraction
+     << " scan_frac=" << scan_fraction << " seed=" << seed;
+  return os.str();
+}
+
+}  // namespace mvcc

@@ -1,0 +1,66 @@
+#ifndef MVCC_WORKLOAD_WORKLOAD_H_
+#define MVCC_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace mvcc {
+
+// Parameters of a synthetic transaction mix. This is the substitute for
+// the paper's (nonexistent) published workload: it exercises exactly the
+// code paths the paper's claims are about — read-only snapshot reads vs.
+// read-write conflicts under a skewed key distribution.
+struct WorkloadSpec {
+  uint64_t num_keys = 10000;
+
+  // Zipfian skew over keys; 0 = uniform.
+  double zipf_theta = 0.0;
+
+  // Fraction of transactions declared read-only at begin.
+  double read_only_fraction = 0.3;
+
+  // Operations per read-only transaction (all reads).
+  int ro_ops = 8;
+
+  // Operations per read-write transaction.
+  int rw_ops = 8;
+
+  // Probability that a read-write transaction's operation is a write.
+  double write_fraction = 0.5;
+
+  // Probability that a transaction operation is a range scan (read-only
+  // transactions always support them; read-write scans run where the
+  // protocol offers phantom-safe scans and are skipped elsewhere).
+  double scan_fraction = 0.0;
+
+  // Width of generated scan ranges.
+  int scan_span = 16;
+
+  // Payload size in bytes for written values.
+  int value_size = 8;
+
+  uint64_t seed = 42;
+
+  std::string Describe() const;
+};
+
+// One planned operation.
+struct PlannedOp {
+  bool is_write = false;
+  bool is_scan = false;   // scan [key, key + span - 1]
+  ObjectKey key = 0;
+  ObjectKey span = 0;
+};
+
+// One planned transaction.
+struct TxnPlan {
+  TxnClass cls = TxnClass::kReadWrite;
+  std::vector<PlannedOp> ops;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,151 @@
+#include "cc/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "history/serializability.h"
+#include "txn/database.h"
+#include "workload/runner.h"
+
+namespace mvcc {
+namespace {
+
+DatabaseOptions Opts() {
+  DatabaseOptions opts;
+  opts.protocol = ProtocolKind::kVcAdaptive;
+  opts.preload_keys = 16;
+  opts.initial_value = "init";
+  opts.record_history = true;
+  return opts;
+}
+
+TEST(AdaptiveTest, BasicReadWriteCommit) {
+  Database db(Opts());
+  auto txn = db.Begin(TxnClass::kReadWrite);
+  EXPECT_EQ(*txn->Read(1), "init");
+  ASSERT_TRUE(txn->Write(1, "one").ok());
+  EXPECT_EQ(*txn->Read(1), "one");
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_EQ(*db.Get(1), "one");
+}
+
+TEST(AdaptiveTest, StartsOptimistic) {
+  Database db(Opts());
+  auto* adaptive = dynamic_cast<Adaptive*>(&db.protocol());
+  ASSERT_NE(adaptive, nullptr);
+  EXPECT_EQ(adaptive->mode(), Adaptive::Mode::kOptimistic);
+  EXPECT_EQ(adaptive->switches(), 0u);
+}
+
+TEST(AdaptiveTest, OptimisticModeDetectsConflicts) {
+  Database db(Opts());
+  auto t1 = db.Begin(TxnClass::kReadWrite);
+  auto t2 = db.Begin(TxnClass::kReadWrite);
+  EXPECT_EQ(*t1->Read(5), "init");
+  ASSERT_TRUE(t2->Write(5, "x").ok());
+  ASSERT_TRUE(t2->Commit().ok());
+  ASSERT_TRUE(t1->Write(6, "y").ok());
+  EXPECT_TRUE(t1->Commit().IsAborted());  // OCC validation failure
+}
+
+TEST(AdaptiveTest, SwitchesToLockingUnderContention) {
+  DatabaseOptions opts;
+  opts.protocol = ProtocolKind::kVcAdaptive;
+  opts.preload_keys = 4;  // tiny key space: brutal contention
+  Database db(opts);
+  auto* adaptive = dynamic_cast<Adaptive*>(&db.protocol());
+
+  WorkloadSpec spec;
+  spec.num_keys = 4;
+  spec.read_only_fraction = 0.0;
+  spec.rw_ops = 4;
+  spec.write_fraction = 0.5;
+  RunOptions run;
+  run.threads = 8;
+  run.duration_ms = 400;
+  RunWorkload(&db, spec, run);
+  EXPECT_GE(adaptive->switches(), 1u)
+      << "expected at least one OCC -> 2PL switch under contention";
+}
+
+TEST(AdaptiveTest, StaysOptimisticWithoutContention) {
+  DatabaseOptions opts;
+  opts.protocol = ProtocolKind::kVcAdaptive;
+  opts.preload_keys = 65536;  // huge key space: no conflicts
+  Database db(opts);
+  auto* adaptive = dynamic_cast<Adaptive*>(&db.protocol());
+  WorkloadSpec spec;
+  spec.num_keys = 65536;
+  spec.read_only_fraction = 0.3;
+  RunOptions run;
+  run.threads = 4;
+  run.txns_per_thread = 300;
+  RunWorkload(&db, spec, run);
+  EXPECT_EQ(adaptive->mode(), Adaptive::Mode::kOptimistic);
+  EXPECT_EQ(adaptive->switches(), 0u);
+}
+
+TEST(AdaptiveTest, ReadOnlyPathUnchanged) {
+  Database db(Opts());
+  ASSERT_TRUE(db.Put(1, "x").ok());
+  auto reader = db.Begin(TxnClass::kReadOnly);
+  ASSERT_TRUE(db.Put(1, "y").ok());
+  EXPECT_EQ(*reader->Read(1), "x");  // stable snapshot
+  EXPECT_TRUE(reader->Commit().ok());
+  EXPECT_EQ(db.counters().ro_blocks.load(), 0u);
+  EXPECT_EQ(db.counters().ro_metadata_writes.load(), 0u);
+}
+
+TEST(AdaptiveTest, SerializableAcrossModeSwitches) {
+  DatabaseOptions opts = Opts();
+  opts.preload_keys = 8;  // high contention to force switches
+  Database db(opts);
+  auto* adaptive = dynamic_cast<Adaptive*>(&db.protocol());
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 6; ++t) {
+    workers.emplace_back([&, t] {
+      Random rng(900 + t);
+      for (int i = 0; i < 400; ++i) {
+        auto txn = db.Begin(TxnClass::kReadWrite);
+        bool dead = false;
+        for (int op = 0; op < 3 && !dead; ++op) {
+          const ObjectKey key = rng.Uniform(8);
+          if (rng.Bernoulli(0.5)) {
+            dead = !txn->Write(key, std::to_string(t)).ok();
+          } else {
+            auto r = txn->Read(key);
+            dead = !r.ok() && r.status().IsAborted();
+          }
+        }
+        if (!dead) txn->Commit();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  auto verdict = CheckOneCopySerializable(*db.history());
+  EXPECT_TRUE(verdict.one_copy_serializable)
+      << "cycle after " << adaptive->switches() << " mode switches";
+  EXPECT_TRUE(CheckLemmas(db.history()->Records()).empty());
+  EXPECT_EQ(db.version_control().QueueSize(), 0u);
+}
+
+TEST(AdaptiveTest, QueueDrainedAfterMixedOutcomes) {
+  Database db(Opts());
+  for (int i = 0; i < 50; ++i) {
+    auto txn = db.Begin(TxnClass::kReadWrite);
+    if (!txn->Write(i % 16, "v").ok()) continue;
+    if (i % 3 == 0) {
+      txn->Abort();
+    } else {
+      txn->Commit();
+    }
+  }
+  EXPECT_EQ(db.version_control().QueueSize(), 0u);
+}
+
+}  // namespace
+}  // namespace mvcc

@@ -1,0 +1,145 @@
+#include "storage/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace mvcc {
+namespace {
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_FALSE(tree.Contains(7));
+  EXPECT_TRUE(tree.Range(0, 100).empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, SingleKey) {
+  BPlusTree tree;
+  tree.Insert(42);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.Contains(42));
+  EXPECT_FALSE(tree.Contains(41));
+  EXPECT_EQ(tree.Range(0, 100), (std::vector<ObjectKey>{42}));
+  EXPECT_EQ(tree.Range(42, 42), (std::vector<ObjectKey>{42}));
+  EXPECT_TRUE(tree.Range(43, 100).empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, DuplicateInsertIgnored) {
+  BPlusTree tree;
+  tree.Insert(5);
+  tree.Insert(5);
+  tree.Insert(5);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, SequentialInsertSplitsAndStaysBalanced) {
+  BPlusTree tree;
+  for (ObjectKey k = 0; k < 10000; ++k) {
+    tree.Insert(k);
+  }
+  EXPECT_EQ(tree.size(), 10000u);
+  EXPECT_GT(tree.height(), 1);
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (ObjectKey k = 0; k < 10000; ++k) ASSERT_TRUE(tree.Contains(k));
+  EXPECT_FALSE(tree.Contains(10000));
+}
+
+TEST(BPlusTreeTest, ReverseInsert) {
+  BPlusTree tree;
+  for (ObjectKey k = 5000; k-- > 0;) tree.Insert(k);
+  EXPECT_EQ(tree.size(), 5000u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  auto range = tree.Range(100, 199);
+  ASSERT_EQ(range.size(), 100u);
+  EXPECT_EQ(range.front(), 100u);
+  EXPECT_EQ(range.back(), 199u);
+}
+
+TEST(BPlusTreeTest, RangeBoundariesInclusive) {
+  BPlusTree tree;
+  for (ObjectKey k = 0; k < 100; k += 10) tree.Insert(k);
+  EXPECT_EQ(tree.Range(10, 30), (std::vector<ObjectKey>{10, 20, 30}));
+  EXPECT_EQ(tree.Range(11, 29), (std::vector<ObjectKey>{20}));
+  EXPECT_TRUE(tree.Range(31, 39).empty());
+  EXPECT_TRUE(tree.Range(50, 40).empty());  // inverted range
+}
+
+TEST(BPlusTreeTest, ExtremeKeys) {
+  BPlusTree tree;
+  const ObjectKey max_key = std::numeric_limits<ObjectKey>::max();
+  tree.Insert(0);
+  tree.Insert(max_key);
+  tree.Insert(max_key - 1);
+  EXPECT_TRUE(tree.Contains(0));
+  EXPECT_TRUE(tree.Contains(max_key));
+  EXPECT_EQ(tree.Range(0, max_key).size(), 3u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+class BPlusTreeRandomSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BPlusTreeRandomSweep, MatchesReferenceSet) {
+  Random rng(GetParam());
+  BPlusTree tree;
+  std::set<ObjectKey> reference;
+  for (int i = 0; i < 20000; ++i) {
+    const ObjectKey key = rng.Uniform(50000);
+    tree.Insert(key);
+    reference.insert(key);
+  }
+  ASSERT_EQ(tree.size(), reference.size());
+  ASSERT_TRUE(tree.CheckInvariants());
+
+  // Membership samples.
+  for (int i = 0; i < 2000; ++i) {
+    const ObjectKey key = rng.Uniform(50000);
+    ASSERT_EQ(tree.Contains(key), reference.count(key) != 0) << key;
+  }
+
+  // Random range queries against the reference.
+  for (int i = 0; i < 200; ++i) {
+    ObjectKey lo = rng.Uniform(50000);
+    ObjectKey hi = rng.Uniform(50000);
+    if (lo > hi) std::swap(lo, hi);
+    const std::vector<ObjectKey> got = tree.Range(lo, hi);
+    std::vector<ObjectKey> want(reference.lower_bound(lo),
+                                reference.upper_bound(hi));
+    ASSERT_EQ(got, want) << "range [" << lo << ", " << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreeRandomSweep,
+                         ::testing::Values(uint64_t{1}, uint64_t{2},
+                                           uint64_t{3}, uint64_t{17},
+                                           uint64_t{99}));
+
+TEST(BPlusTreeTest, InvariantsHoldAtEverySplitBoundary) {
+  // Insert exactly around the fanout boundaries and validate after each.
+  BPlusTree tree;
+  for (ObjectKey k = 0; k < BPlusTree::kMaxKeys * 3 + 2; ++k) {
+    tree.Insert(k * 2 + 1);  // odd keys
+    ASSERT_TRUE(tree.CheckInvariants()) << "after insert " << k;
+    ASSERT_FALSE(tree.Contains(k * 2));  // even keys never present
+  }
+}
+
+TEST(BPlusTreeTest, DenseThenSparseMix) {
+  BPlusTree tree;
+  for (ObjectKey k = 1000; k < 2000; ++k) tree.Insert(k);
+  for (ObjectKey k = 0; k < 100000; k += 997) tree.Insert(k);
+  EXPECT_TRUE(tree.CheckInvariants());
+  // Dense block intact; the sparse key 1994 (997*2) was a duplicate.
+  EXPECT_EQ(tree.Range(1000, 1999).size(), 1000u);
+}
+
+}  // namespace
+}  // namespace mvcc

@@ -1,0 +1,91 @@
+// Property test: VersionChain against a brute-force reference model
+// under random installs, reads, and prunes.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "storage/version_chain.h"
+
+namespace mvcc {
+namespace {
+
+// Reference: an ordered map version -> value with the same semantics.
+class ChainModel {
+ public:
+  void Install(VersionNumber n, const Value& v) { versions_[n] = v; }
+
+  // Largest version <= at_most.
+  std::optional<std::pair<VersionNumber, Value>> Read(
+      TxnNumber at_most) const {
+    auto it = versions_.upper_bound(at_most);
+    if (it == versions_.begin()) return std::nullopt;
+    --it;
+    return std::make_pair(it->first, it->second);
+  }
+
+  size_t Prune(VersionNumber watermark) {
+    auto keep = versions_.upper_bound(watermark);
+    if (keep == versions_.begin()) return 0;
+    --keep;  // newest version <= watermark survives
+    size_t removed = 0;
+    for (auto it = versions_.begin(); it != keep;) {
+      it = versions_.erase(it);
+      ++removed;
+    }
+    return removed;
+  }
+
+  size_t size() const { return versions_.size(); }
+
+ private:
+  std::map<VersionNumber, Value> versions_;
+};
+
+class ChainModelSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChainModelSweep, MatchesReferenceModel) {
+  Random rng(GetParam());
+  VersionChain chain;
+  ChainModel model;
+  std::set<VersionNumber> used;
+
+  for (int step = 0; step < 5000; ++step) {
+    const double roll = rng.NextDouble();
+    if (roll < 0.45) {
+      // Install a fresh version number.
+      VersionNumber n = rng.Uniform(100000);
+      while (used.count(n)) ++n;
+      used.insert(n);
+      const Value v = "v" + std::to_string(n);
+      chain.Install(Version{n, v, 1});
+      model.Install(n, v);
+    } else if (roll < 0.9) {
+      const TxnNumber at = rng.Uniform(100000);
+      auto expected = model.Read(at);
+      auto actual = chain.Read(at);
+      if (expected.has_value()) {
+        ASSERT_TRUE(actual.ok()) << "step " << step;
+        ASSERT_EQ(actual->version, expected->first);
+        ASSERT_EQ(actual->value, expected->second);
+      } else {
+        ASSERT_TRUE(actual.status().IsNotFound()) << "step " << step;
+      }
+    } else {
+      const VersionNumber watermark = rng.Uniform(100000);
+      ASSERT_EQ(chain.Prune(watermark), model.Prune(watermark))
+          << "step " << step;
+    }
+    ASSERT_EQ(chain.size(), model.size()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainModelSweep,
+                         ::testing::Values(uint64_t{1}, uint64_t{4},
+                                           uint64_t{9}, uint64_t{16},
+                                           uint64_t{25}));
+
+}  // namespace
+}  // namespace mvcc

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "common/latch.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "common/zipf.h"
+
+namespace mvcc {
+namespace {
+
+TEST(RandomTest, DeterministicFromSeed) {
+  Random a(123), b(123), c(124);
+  bool all_equal = true;
+  bool any_differ_from_c = false;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.Next();
+    const uint64_t vb = b.Next();
+    const uint64_t vc = c.Next();
+    all_equal &= (va == vb);
+    any_differ_from_c |= (va != vc);
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_differ_from_c);
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    const uint64_t v = rng.Range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliRoughlyCalibrated) {
+  Random rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.05);
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  Random rng(3);
+  ZipfGenerator zipf(100, 0.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Next(&rng)];
+  // Every key should be hit under uniform selection.
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(ZipfTest, SkewConcentratesOnSmallKeys) {
+  Random rng(3);
+  ZipfGenerator zipf(1000, 0.99);
+  int head = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Next(&rng) < 10) ++head;
+  }
+  // With theta=0.99 the top-10 keys draw a large share of accesses.
+  EXPECT_GT(head, n / 4);
+}
+
+TEST(ZipfTest, StaysInRange) {
+  Random rng(5);
+  ZipfGenerator zipf(17, 0.8);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Next(&rng), 17u);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_NEAR(h.Mean(), 50.5, 0.01);
+  // Log-scale buckets: p50 should land within a power of two of 50.
+  EXPECT_GE(h.Percentile(0.5), 32);
+  EXPECT_LE(h.Percentile(0.5), 128);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Add(10);
+  b.Add(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+}
+
+TEST(HistogramTest, NegativeClampedToZero) {
+  Histogram h;
+  h.Add(-5);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.count(), 1);
+}
+
+TEST(SpinLatchTest, MutualExclusion) {
+  SpinLatch latch;
+  int64_t counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        std::lock_guard<SpinLatch> guard(latch);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(SpinLatchTest, TryLock) {
+  SpinLatch latch;
+  EXPECT_TRUE(latch.try_lock());
+  EXPECT_FALSE(latch.try_lock());
+  latch.unlock();
+  EXPECT_TRUE(latch.try_lock());
+  latch.unlock();
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ClockTest, Monotonic) {
+  const int64_t a = NowNanos();
+  const int64_t b = NowNanos();
+  EXPECT_LE(a, b);
+}
+
+TEST(ClockTest, ScopedTimerAccumulates) {
+  int64_t sink = 0;
+  {
+    ScopedTimer timer(&sink);
+    volatile int x = 0;
+    for (int i = 0; i < 1000; ++i) x = x + i;
+  }
+  EXPECT_GT(sink, 0);
+}
+
+}  // namespace
+}  // namespace mvcc

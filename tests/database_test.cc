@@ -1,0 +1,159 @@
+#include "txn/database.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace mvcc {
+namespace {
+
+DatabaseOptions Opts(ProtocolKind kind = ProtocolKind::kVc2pl) {
+  DatabaseOptions opts;
+  opts.protocol = kind;
+  opts.preload_keys = 8;
+  opts.initial_value = "init";
+  opts.record_history = true;
+  return opts;
+}
+
+TEST(DatabaseTest, ProtocolKindNames) {
+  EXPECT_EQ(ProtocolKindName(ProtocolKind::kVc2pl), "vc-2pl");
+  EXPECT_EQ(ProtocolKindName(ProtocolKind::kVcTo), "vc-to");
+  EXPECT_EQ(ProtocolKindName(ProtocolKind::kVcOcc), "vc-occ");
+  EXPECT_EQ(ProtocolKindName(ProtocolKind::kMvto), "mvto");
+  EXPECT_EQ(ProtocolKindName(ProtocolKind::kMv2plCtl), "mv2pl-ctl");
+  EXPECT_EQ(ProtocolKindName(ProtocolKind::kSv2pl), "sv-2pl");
+  EXPECT_EQ(ProtocolKindName(ProtocolKind::kWeihlTi), "weihl-ti");
+}
+
+TEST(DatabaseTest, GetPutConveniences) {
+  Database db(Opts());
+  EXPECT_EQ(*db.Get(0), "init");
+  ASSERT_TRUE(db.Put(0, "new").ok());
+  EXPECT_EQ(*db.Get(0), "new");
+  EXPECT_TRUE(db.Get(12345).status().IsNotFound());
+}
+
+TEST(DatabaseTest, TransactionIdsAreUnique) {
+  Database db(Opts());
+  auto a = db.Begin(TxnClass::kReadWrite);
+  auto b = db.Begin(TxnClass::kReadOnly);
+  EXPECT_NE(a->id(), b->id());
+  a->Abort();
+}
+
+TEST(DatabaseTest, WriteOnReadOnlyRejectedWithoutAbort) {
+  Database db(Opts());
+  auto reader = db.Begin(TxnClass::kReadOnly);
+  EXPECT_TRUE(reader->Write(1, "x").IsInvalidArgument());
+  EXPECT_TRUE(reader->active());
+  EXPECT_EQ(*reader->Read(1), "init");  // still usable
+  EXPECT_TRUE(reader->Commit().ok());
+}
+
+TEST(DatabaseTest, OperationsAfterFinishRejected) {
+  Database db(Opts());
+  auto txn = db.Begin(TxnClass::kReadWrite);
+  ASSERT_TRUE(txn->Write(1, "x").ok());
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_TRUE(txn->Read(1).status().IsInvalidArgument());
+  EXPECT_TRUE(txn->Write(1, "y").IsInvalidArgument());
+  EXPECT_TRUE(txn->Commit().IsInvalidArgument());
+}
+
+TEST(DatabaseTest, DestructorAbortsActiveTransaction) {
+  Database db(Opts());
+  {
+    auto txn = db.Begin(TxnClass::kReadWrite);
+    ASSERT_TRUE(txn->Write(1, "doomed").ok());
+    // dropped without commit
+  }
+  EXPECT_EQ(*db.Get(1), "init");
+  EXPECT_EQ(db.counters().rw_aborts.load(), 1u);
+}
+
+TEST(DatabaseTest, CountersTrackCommitsByClass) {
+  Database db(Opts());
+  ASSERT_TRUE(db.Put(1, "a").ok());
+  EXPECT_EQ(*db.Get(1), "a");
+  auto snap = db.counters().Snap();
+  EXPECT_EQ(snap.rw_commits, 1u);
+  EXPECT_EQ(snap.ro_commits, 1u);
+}
+
+TEST(DatabaseTest, HistoryRecordsCommittedOnly) {
+  Database db(Opts());
+  ASSERT_TRUE(db.Put(1, "a").ok());
+  auto doomed = db.Begin(TxnClass::kReadWrite);
+  ASSERT_TRUE(doomed->Write(2, "b").ok());
+  doomed->Abort();
+  ASSERT_NE(db.history(), nullptr);
+  EXPECT_EQ(db.history()->size(), 1u);
+}
+
+TEST(DatabaseTest, CurrencyFixSeesNamedTransaction) {
+  Database db(Opts());
+  auto writer = db.Begin(TxnClass::kReadWrite);
+  ASSERT_TRUE(writer->Write(1, "fresh").ok());
+  ASSERT_TRUE(writer->Commit().ok());
+  const TxnNumber tn = writer->txn_number();
+  // Section 6: a reader that must observe `writer` waits for vtnc >= tn.
+  auto reader = db.BeginReadOnlyAtLeast(tn);
+  EXPECT_GE(reader->start_number(), tn);
+  EXPECT_EQ(*reader->Read(1), "fresh");
+  EXPECT_TRUE(reader->Commit().ok());
+}
+
+TEST(DatabaseTest, CurrencyFixBlocksUntilVisible) {
+  Database db(Opts(ProtocolKind::kVcTo));
+  auto writer = db.Begin(TxnClass::kReadWrite);  // tn = 1, registered now
+  ASSERT_TRUE(writer->Write(1, "fresh").ok());
+  std::atomic<bool> observed{false};
+  Value value;
+  std::thread reader_thread([&] {
+    auto reader = db.BeginReadOnlyAtLeast(1);
+    value = *reader->Read(1);
+    observed.store(true);
+    EXPECT_TRUE(reader->Commit().ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(observed.load());
+  ASSERT_TRUE(writer->Commit().ok());
+  reader_thread.join();
+  EXPECT_EQ(value, "fresh");
+}
+
+TEST(DatabaseTest, PseudoReadWriteReaderSeesLatest) {
+  // Section 6's other remedy: currency-critical readers run as
+  // read-write transactions and always see the latest state.
+  Database db(Opts());
+  auto writer = db.Begin(TxnClass::kReadWrite);
+  ASSERT_TRUE(writer->Write(1, "latest").ok());
+  ASSERT_TRUE(writer->Commit().ok());
+  auto pseudo = db.Begin(TxnClass::kReadWrite);
+  EXPECT_EQ(*pseudo->Read(1), "latest");
+  pseudo->Abort();  // never wrote; abort is free
+}
+
+TEST(DatabaseTest, VisibilityLagCountsRegisteredIncomplete) {
+  Database db(Opts(ProtocolKind::kVcTo));
+  EXPECT_EQ(db.VisibilityLag(), 0u);
+  auto a = db.Begin(TxnClass::kReadWrite);  // TO registers at begin
+  auto b = db.Begin(TxnClass::kReadWrite);
+  EXPECT_EQ(db.VisibilityLag(), 2u);
+  a->Abort();
+  b->Abort();
+  EXPECT_EQ(db.VisibilityLag(), 0u);
+}
+
+TEST(DatabaseTest, ReadOnlyAbortCounted) {
+  Database db(Opts());
+  auto reader = db.Begin(TxnClass::kReadOnly);
+  reader->Abort();
+  EXPECT_EQ(db.counters().ro_aborts.load(), 1u);
+  EXPECT_EQ(db.history()->size(), 0u);
+}
+
+}  // namespace
+}  // namespace mvcc

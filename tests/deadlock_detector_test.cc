@@ -1,0 +1,66 @@
+#include "cc/deadlock_detector.h"
+
+#include <gtest/gtest.h>
+
+namespace mvcc {
+namespace {
+
+TEST(DeadlockDetectorTest, AcyclicEdgesAccepted) {
+  DeadlockDetector det;
+  EXPECT_TRUE(det.AddEdges(1, {2}));
+  EXPECT_TRUE(det.AddEdges(2, {3}));
+  EXPECT_TRUE(det.AddEdges(3, {4}));
+  EXPECT_EQ(det.NumWaiters(), 3u);
+}
+
+TEST(DeadlockDetectorTest, DirectCycleRejected) {
+  DeadlockDetector det;
+  EXPECT_TRUE(det.AddEdges(1, {2}));
+  EXPECT_FALSE(det.AddEdges(2, {1}));
+}
+
+TEST(DeadlockDetectorTest, TransitiveCycleRejected) {
+  DeadlockDetector det;
+  EXPECT_TRUE(det.AddEdges(1, {2}));
+  EXPECT_TRUE(det.AddEdges(2, {3}));
+  EXPECT_FALSE(det.AddEdges(3, {1}));
+}
+
+TEST(DeadlockDetectorTest, RejectedEdgesAreRolledBack) {
+  DeadlockDetector det;
+  EXPECT_TRUE(det.AddEdges(1, {2}));
+  EXPECT_FALSE(det.AddEdges(2, {5, 1}));
+  // The rejected call must not have installed 2 -> 5 either.
+  EXPECT_TRUE(det.AddEdges(5, {2}));  // would cycle if 2 -> 5 existed
+}
+
+TEST(DeadlockDetectorTest, ClearWaitsRemovesOutgoing) {
+  DeadlockDetector det;
+  EXPECT_TRUE(det.AddEdges(1, {2}));
+  det.ClearWaits(1);
+  EXPECT_TRUE(det.AddEdges(2, {1}));  // no longer a cycle
+}
+
+TEST(DeadlockDetectorTest, RemoveTxnRemovesBothDirections) {
+  DeadlockDetector det;
+  EXPECT_TRUE(det.AddEdges(1, {2}));
+  EXPECT_TRUE(det.AddEdges(3, {1}));
+  det.RemoveTxn(1);
+  EXPECT_TRUE(det.AddEdges(2, {3}));  // 2->3, 3->1(gone): acyclic
+}
+
+TEST(DeadlockDetectorTest, SelfEdgesIgnored) {
+  DeadlockDetector det;
+  EXPECT_TRUE(det.AddEdges(1, {1, 2}));
+  EXPECT_TRUE(det.AddEdges(2, {3}));
+}
+
+TEST(DeadlockDetectorTest, MultiHolderEdges) {
+  DeadlockDetector det;
+  EXPECT_TRUE(det.AddEdges(1, {2, 3, 4}));
+  EXPECT_FALSE(det.AddEdges(4, {1}));
+  EXPECT_TRUE(det.AddEdges(4, {5}));
+}
+
+}  // namespace
+}  // namespace mvcc

@@ -1,0 +1,250 @@
+// Cross-module integration tests: full databases under real concurrency,
+// verified with the MVSG checker and the paper's lemmas.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "history/serializability.h"
+#include "txn/database.h"
+#include "workload/runner.h"
+
+namespace mvcc {
+namespace {
+
+DatabaseOptions Opts(ProtocolKind kind) {
+  DatabaseOptions opts;
+  opts.protocol = kind;
+  opts.preload_keys = 64;
+  opts.initial_value = "0";
+  opts.record_history = true;
+  return opts;
+}
+
+// Runs a mixed concurrent workload and returns the database for checks.
+void RunMixed(Database* db, int threads, int txns_per_thread,
+              uint64_t keys) {
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([db, t, txns_per_thread, keys] {
+      Random rng(500 + t);
+      for (int i = 0; i < txns_per_thread; ++i) {
+        if (rng.Bernoulli(0.4)) {
+          auto reader = db->Begin(TxnClass::kReadOnly);
+          for (int op = 0; op < 4; ++op) {
+            auto r = reader->Read(rng.Uniform(keys));
+            if (!r.ok() && !r.status().IsNotFound()) return;
+          }
+          reader->Commit();
+        } else {
+          auto writer = db->Begin(TxnClass::kReadWrite);
+          bool dead = false;
+          for (int op = 0; op < 4 && !dead; ++op) {
+            const ObjectKey key = rng.Uniform(keys);
+            if (rng.Bernoulli(0.5)) {
+              dead = !writer->Write(key, std::to_string(t)).ok();
+            } else {
+              auto r = writer->Read(key);
+              dead = !r.ok() && r.status().IsAborted();
+            }
+          }
+          if (!dead) writer->Commit();
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+class ProtocolIntegrationTest
+    : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(ProtocolIntegrationTest, ConcurrentMixedWorkloadIsOneCopySerializable) {
+  Database db(Opts(GetParam()));
+  RunMixed(&db, 6, 200, 64);
+  ASSERT_NE(db.history(), nullptr);
+  EXPECT_GT(db.history()->size(), 0u);
+  auto verdict = CheckOneCopySerializable(*db.history());
+  EXPECT_TRUE(verdict.one_copy_serializable)
+      << ProtocolKindName(GetParam()) << ": MVSG cycle of "
+      << verdict.cycle.size() << " nodes";
+}
+
+TEST_P(ProtocolIntegrationTest, EveryTransactionResolvedAndQueueDrained) {
+  Database db(Opts(GetParam()));
+  RunMixed(&db, 4, 150, 64);
+  const auto snap = db.counters().Snap();
+  EXPECT_GT(snap.rw_commits + snap.rw_aborts, 0u);
+  // No transaction is left registered in the version control queue.
+  EXPECT_EQ(db.version_control().QueueSize(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, ProtocolIntegrationTest,
+    ::testing::Values(ProtocolKind::kVc2pl, ProtocolKind::kVcTo,
+                      ProtocolKind::kVcOcc, ProtocolKind::kMvto,
+                      ProtocolKind::kMv2plCtl, ProtocolKind::kSv2pl,
+                      ProtocolKind::kWeihlTi),
+    [](const ::testing::TestParamInfo<ProtocolKind>& info) {
+      std::string name(ProtocolKindName(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+class VcProtocolIntegrationTest
+    : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(VcProtocolIntegrationTest, LemmasHoldOnRecordedHistory) {
+  Database db(Opts(GetParam()));
+  RunMixed(&db, 6, 150, 64);
+  auto violations = CheckLemmas(db.history()->Records());
+  EXPECT_TRUE(violations.empty())
+      << ProtocolKindName(GetParam()) << ": " << violations.size()
+      << " violations, first: "
+      << (violations.empty() ? "" : violations.front());
+}
+
+TEST_P(VcProtocolIntegrationTest, ReadOnlyTransactionsAreUndisturbed) {
+  // The paper's headline guarantees, asserted as hard invariants:
+  // read-only transactions never block, never abort, never write
+  // metadata, and never appear in the version control queue.
+  Database db(Opts(GetParam()));
+  RunMixed(&db, 6, 200, 64);
+  const auto snap = db.counters().Snap();
+  EXPECT_GT(snap.ro_commits, 0u);
+  EXPECT_EQ(snap.ro_blocks, 0u);
+  EXPECT_EQ(snap.ro_aborts, 0u);
+  EXPECT_EQ(snap.ro_metadata_writes, 0u);
+  EXPECT_EQ(snap.rw_aborts_caused_by_ro, 0u);
+  EXPECT_EQ(snap.negotiation_rounds, 0u);
+  EXPECT_EQ(snap.ctl_entries_copied, 0u);
+}
+
+TEST_P(VcProtocolIntegrationTest, VisibilityInvariantUnderConcurrency) {
+  Database db(Opts(GetParam()));
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violated{false};
+  std::thread checker([&] {
+    while (!stop.load()) {
+      const TxnNumber vtnc = db.version_control().vtnc();
+      const TxnNumber tnc = db.version_control().NextNumber();
+      if (vtnc >= tnc) violated.store(true);
+    }
+  });
+  RunMixed(&db, 4, 200, 64);
+  stop.store(true);
+  checker.join();
+  EXPECT_FALSE(violated.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VcProtocols, VcProtocolIntegrationTest,
+    ::testing::Values(ProtocolKind::kVc2pl, ProtocolKind::kVcTo,
+                      ProtocolKind::kVcOcc),
+    [](const ::testing::TestParamInfo<ProtocolKind>& info) {
+      std::string name(ProtocolKindName(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(IntegrationTest, DeadlockedWritersNeverAppearInVcQueue) {
+  // Section 4.4: transactions interacting with version control are past
+  // their lock point and cannot be part of a deadlock cycle. Force a
+  // deadlock and observe that the VCQueue never holds a waiting txn.
+  DatabaseOptions opts = Opts(ProtocolKind::kVc2pl);
+  opts.deadlock_policy = DeadlockPolicy::kDetect;
+  Database db(opts);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> max_queue{0};
+  std::thread watcher([&] {
+    while (!stop.load()) {
+      const uint64_t q = db.version_control().QueueSize();
+      uint64_t prev = max_queue.load();
+      while (q > prev && !max_queue.compare_exchange_weak(prev, q)) {
+      }
+    }
+  });
+  auto t1 = db.Begin(TxnClass::kReadWrite);
+  auto t2 = db.Begin(TxnClass::kReadWrite);
+  ASSERT_TRUE(t1->Write(1, "a").ok());
+  ASSERT_TRUE(t2->Write(2, "b").ok());
+  std::thread crosser([&] { (void)t1->Write(2, "a2"); });
+  (void)t2->Write(1, "b1");
+  crosser.join();
+  if (t1->active()) t1->Commit();
+  if (t2->active()) t2->Commit();
+  stop.store(true);
+  watcher.join();
+  // Registration only happens inside commit, which never waits for locks:
+  // the queue holds at most the transactions mid-install.
+  EXPECT_LE(max_queue.load(), 2u);
+  EXPECT_GE(db.counters().deadlock_aborts.load(), 1u);
+  EXPECT_EQ(db.version_control().QueueSize(), 0u);
+}
+
+TEST(IntegrationTest, PartialInstallsNeverLeakToSnapshotReaders) {
+  // Fault injection: stretch the window in which a two-key commit is
+  // only half installed. Delayed visibility (vtnc) must still hand
+  // readers only fully installed, fully completed prefixes.
+  for (ProtocolKind kind : {ProtocolKind::kVc2pl, ProtocolKind::kVcTo}) {
+    DatabaseOptions opts;
+    opts.protocol = kind;
+    opts.preload_keys = 2;
+    opts.initial_value = "0";
+    opts.install_pause_ns = 5000;
+    Database db(opts);
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+      uint64_t i = 0;
+      while (!stop.load()) {
+        auto txn = db.Begin(TxnClass::kReadWrite);
+        const Value v = std::to_string(++i);
+        if (!txn->Write(0, v).ok()) continue;
+        if (!txn->Write(1, v).ok()) continue;
+        txn->Commit();
+      }
+    });
+    int torn = 0;
+    for (int trial = 0; trial < 300; ++trial) {
+      auto reader = db.Begin(TxnClass::kReadOnly);
+      const Value a = *reader->Read(0);
+      const Value b = *reader->Read(1);
+      if (a != b) ++torn;
+      reader->Commit();
+    }
+    stop.store(true);
+    writer.join();
+    EXPECT_EQ(torn, 0) << ProtocolKindName(kind);
+  }
+}
+
+TEST(IntegrationTest, WorkloadRunnerAcrossProtocolsSmoke) {
+  for (ProtocolKind kind :
+       {ProtocolKind::kVc2pl, ProtocolKind::kVcTo, ProtocolKind::kVcOcc,
+        ProtocolKind::kMvto, ProtocolKind::kMv2plCtl, ProtocolKind::kSv2pl,
+        ProtocolKind::kWeihlTi}) {
+    DatabaseOptions opts;
+    opts.protocol = kind;
+    opts.preload_keys = 128;
+    Database db(opts);
+    WorkloadSpec spec;
+    spec.num_keys = 128;
+    spec.read_only_fraction = 0.5;
+    spec.zipf_theta = 0.6;
+    RunOptions run;
+    run.threads = 4;
+    run.txns_per_thread = 100;
+    RunResult result = RunWorkload(&db, spec, run);
+    EXPECT_GT(result.committed(), 0u) << ProtocolKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace mvcc

@@ -1,0 +1,61 @@
+#include "storage/object_store.h"
+
+#include <gtest/gtest.h>
+
+namespace mvcc {
+namespace {
+
+TEST(ObjectStoreTest, PreloadCreatesInitialVersions) {
+  ObjectStore store(8);
+  store.Preload(100, "init");
+  EXPECT_EQ(store.NumKeys(), 100u);
+  EXPECT_EQ(store.TotalVersions(), 100u);
+  VersionChain* chain = store.Find(42);
+  ASSERT_NE(chain, nullptr);
+  EXPECT_EQ(chain->Read(0)->value, "init");
+  EXPECT_EQ(chain->Read(0)->writer, 0u);  // T0
+}
+
+TEST(ObjectStoreTest, FindMissingReturnsNull) {
+  ObjectStore store;
+  EXPECT_EQ(store.Find(7), nullptr);
+}
+
+TEST(ObjectStoreTest, GetOrCreateIsStable) {
+  ObjectStore store;
+  VersionChain* a = store.GetOrCreate(7);
+  VersionChain* b = store.GetOrCreate(7);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(store.Find(7), a);
+  EXPECT_EQ(store.NumKeys(), 1u);
+}
+
+TEST(ObjectStoreTest, TotalVersionsCountsAllChains) {
+  ObjectStore store(4);
+  store.Preload(10, "x");
+  store.GetOrCreate(3)->Install(Version{5, "y", 1});
+  store.GetOrCreate(3)->Install(Version{9, "z", 2});
+  EXPECT_EQ(store.TotalVersions(), 12u);
+}
+
+TEST(ObjectStoreTest, PruneAllAppliesWatermarkEverywhere) {
+  ObjectStore store(4);
+  store.Preload(10, "x");
+  for (ObjectKey k = 0; k < 10; ++k) {
+    store.GetOrCreate(k)->Install(Version{5, "a", 1});
+    store.GetOrCreate(k)->Install(Version{9, "b", 2});
+  }
+  EXPECT_EQ(store.TotalVersions(), 30u);
+  // Watermark 6: versions 0 are unreachable under the newest-<=-6 rule.
+  EXPECT_EQ(store.PruneAll(6), 10u);
+  EXPECT_EQ(store.TotalVersions(), 20u);
+}
+
+TEST(ObjectStoreTest, ShardCountOfZeroIsClampedToOne) {
+  ObjectStore store(0);
+  store.Preload(5, "x");
+  EXPECT_EQ(store.NumKeys(), 5u);
+}
+
+}  // namespace
+}  // namespace mvcc

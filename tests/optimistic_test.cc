@@ -1,0 +1,132 @@
+#include "cc/optimistic.h"
+
+#include <gtest/gtest.h>
+
+#include "txn/database.h"
+
+namespace mvcc {
+namespace {
+
+DatabaseOptions Opts() {
+  DatabaseOptions opts;
+  opts.protocol = ProtocolKind::kVcOcc;
+  opts.preload_keys = 16;
+  opts.initial_value = "init";
+  opts.record_history = true;
+  return opts;
+}
+
+TEST(VcOccTest, BasicReadWriteCommit) {
+  Database db(Opts());
+  auto txn = db.Begin(TxnClass::kReadWrite);
+  EXPECT_EQ(*txn->Read(1), "init");
+  ASSERT_TRUE(txn->Write(1, "one").ok());
+  EXPECT_EQ(*txn->Read(1), "one");
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_EQ(*db.Get(1), "one");
+  EXPECT_EQ(txn->txn_number(), 1u);
+}
+
+TEST(VcOccTest, ValidationRejectsStaleRead) {
+  Database db(Opts());
+  auto t1 = db.Begin(TxnClass::kReadWrite);
+  auto t2 = db.Begin(TxnClass::kReadWrite);
+  EXPECT_EQ(*t1->Read(5), "init");  // t1 reads x
+  ASSERT_TRUE(t2->Write(5, "changed").ok());
+  ASSERT_TRUE(t2->Commit().ok());   // t2 validates first, writing x
+  ASSERT_TRUE(t1->Write(6, "y").ok());
+  Status s = t1->Commit();
+  EXPECT_TRUE(s.IsAborted());       // t1's read of x is stale
+  EXPECT_FALSE(t1->active());
+  EXPECT_EQ(db.counters().rw_aborts.load(), 1u);
+}
+
+TEST(VcOccTest, DisjointTransactionsBothCommit) {
+  Database db(Opts());
+  auto t1 = db.Begin(TxnClass::kReadWrite);
+  auto t2 = db.Begin(TxnClass::kReadWrite);
+  EXPECT_EQ(*t1->Read(1), "init");
+  ASSERT_TRUE(t1->Write(2, "a").ok());
+  EXPECT_EQ(*t2->Read(3), "init");
+  ASSERT_TRUE(t2->Write(4, "b").ok());
+  EXPECT_TRUE(t2->Commit().ok());
+  EXPECT_TRUE(t1->Commit().ok());
+}
+
+TEST(VcOccTest, BlindWritesNeverConflict) {
+  Database db(Opts());
+  auto t1 = db.Begin(TxnClass::kReadWrite);
+  auto t2 = db.Begin(TxnClass::kReadWrite);
+  ASSERT_TRUE(t1->Write(5, "t1").ok());
+  ASSERT_TRUE(t2->Write(5, "t2").ok());
+  EXPECT_TRUE(t1->Commit().ok());
+  EXPECT_TRUE(t2->Commit().ok());  // backward validation checks reads only
+  // Serial order = validation order: t2 is later.
+  EXPECT_EQ(*db.Get(5), "t2");
+}
+
+TEST(VcOccTest, WriteThenReadOwnValue) {
+  Database db(Opts());
+  auto txn = db.Begin(TxnClass::kReadWrite);
+  ASSERT_TRUE(txn->Write(7, "mine").ok());
+  EXPECT_EQ(*txn->Read(7), "mine");
+  ASSERT_TRUE(txn->Commit().ok());
+}
+
+TEST(VcOccTest, ReadOnlyBypassesValidation) {
+  Database db(Opts());
+  ASSERT_TRUE(db.Put(1, "x").ok());
+  auto reader = db.Begin(TxnClass::kReadOnly);
+  auto t = db.Begin(TxnClass::kReadWrite);
+  ASSERT_TRUE(t->Write(1, "y").ok());
+  ASSERT_TRUE(t->Commit().ok());
+  // The reader's snapshot is unaffected and commits with no validation.
+  EXPECT_EQ(*reader->Read(1), "x");
+  EXPECT_TRUE(reader->Commit().ok());
+  EXPECT_EQ(db.counters().ro_commits.load(), 1u);
+}
+
+TEST(VcOccTest, ValidationLogTrimsWhenQuiescent) {
+  Database db(Opts());
+  auto* occ = dynamic_cast<Optimistic*>(&db.protocol());
+  ASSERT_NE(occ, nullptr);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db.Put(i % 16, "v").ok());
+  }
+  // With no active transactions, the log should not retain all 50 sets.
+  EXPECT_LT(occ->ValidationLogSize(), 50u);
+}
+
+TEST(VcOccTest, AbortBeforeCommitLeavesNoTrace) {
+  Database db(Opts());
+  auto txn = db.Begin(TxnClass::kReadWrite);
+  ASSERT_TRUE(txn->Write(3, "doomed").ok());
+  txn->Abort();
+  EXPECT_EQ(*db.Get(3), "init");
+  EXPECT_EQ(db.version_control().QueueSize(), 0u);
+  // A later transaction is unaffected.
+  ASSERT_TRUE(db.Put(3, "fine").ok());
+  EXPECT_EQ(*db.Get(3), "fine");
+}
+
+TEST(VcOccTest, StaleReadDetectedAcrossLongGap) {
+  Database db(Opts());
+  auto t1 = db.Begin(TxnClass::kReadWrite);
+  EXPECT_EQ(*t1->Read(5), "init");
+  // Many intervening committed writers.
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(db.Put(5, "v").ok());
+  ASSERT_TRUE(t1->Write(6, "y").ok());
+  EXPECT_TRUE(t1->Commit().IsAborted());
+}
+
+TEST(VcOccTest, ReaderOfUnrelatedKeysSurvivesManyCommits) {
+  Database db(Opts());
+  auto t1 = db.Begin(TxnClass::kReadWrite);
+  EXPECT_EQ(*t1->Read(10), "init");
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(db.Put(5, "v").ok());
+  ASSERT_TRUE(t1->Write(11, "y").ok());
+  EXPECT_TRUE(t1->Commit().ok());
+}
+
+}  // namespace
+}  // namespace mvcc

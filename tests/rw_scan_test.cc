@@ -1,0 +1,250 @@
+// Read-write range scans: phantom exclusion under 2PL (range locks) and
+// OCC (scanned-range validation).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "cc/range_lock_table.h"
+#include "txn/database.h"
+
+namespace mvcc {
+namespace {
+
+DatabaseOptions Opts(ProtocolKind kind) {
+  DatabaseOptions opts;
+  opts.protocol = kind;
+  opts.preload_keys = 10;
+  opts.initial_value = "init";
+  opts.record_history = true;
+  return opts;
+}
+
+TEST(RangeLockTableTest, SharedRangesCoexist) {
+  EventCounters counters;
+  RangeLockTable table(&counters);
+  EXPECT_TRUE(table.AcquireShared(1, 0, 100).ok());
+  EXPECT_TRUE(table.AcquireShared(2, 50, 150).ok());
+  EXPECT_EQ(table.ActiveIntervals(), 2u);
+  table.ReleaseAll(1);
+  table.ReleaseAll(2);
+  EXPECT_EQ(table.ActiveIntervals(), 0u);
+}
+
+TEST(RangeLockTableTest, ExclusivePointConflictsWithOverlappingRange) {
+  EventCounters counters;
+  RangeLockTable table(&counters);
+  EXPECT_TRUE(table.AcquireShared(1, 0, 100).ok());
+  // Younger inserter inside the range dies.
+  EXPECT_TRUE(table.AcquireExclusivePoint(2, 50).IsAborted());
+  // Outside the range: fine.
+  EXPECT_TRUE(table.AcquireExclusivePoint(2, 101).ok());
+}
+
+TEST(RangeLockTableTest, OlderRequesterWaits) {
+  EventCounters counters;
+  RangeLockTable table(&counters);
+  EXPECT_TRUE(table.AcquireExclusivePoint(5, 50).ok());
+  std::atomic<bool> acquired{false};
+  std::thread older([&] {
+    EXPECT_TRUE(table.AcquireShared(1, 0, 100).ok());
+    acquired.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(acquired.load());
+  table.ReleaseAll(5);
+  older.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(RangeLockTableTest, ReacquireBySameTxnNeverSelfConflicts) {
+  EventCounters counters;
+  RangeLockTable table(&counters);
+  EXPECT_TRUE(table.AcquireShared(1, 0, 10).ok());
+  EXPECT_TRUE(table.AcquireExclusivePoint(1, 5).ok());
+  EXPECT_TRUE(table.AcquireShared(1, 3, 7).ok());
+}
+
+class RwScanTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(RwScanTest, BasicScanSeesCommittedState) {
+  Database db(Opts(GetParam()));
+  ASSERT_TRUE(db.Put(3, "three").ok());
+  auto txn = db.Begin(TxnClass::kReadWrite);
+  auto rows = txn->Scan(0, 9);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 10u);
+  EXPECT_EQ((*rows)[3].second, "three");
+  ASSERT_TRUE(txn->Commit().ok());
+}
+
+TEST_P(RwScanTest, ScanIncludesOwnBufferedWrites) {
+  Database db(Opts(GetParam()));
+  auto txn = db.Begin(TxnClass::kReadWrite);
+  ASSERT_TRUE(txn->Write(4, "mine").ok());
+  ASSERT_TRUE(txn->Write(42, "new-key").ok());  // key being created
+  auto rows = txn->Scan(0, 50);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 11u);  // 10 preloaded + the new key
+  EXPECT_EQ((*rows)[4].second, "mine");
+  EXPECT_EQ(rows->back().first, 42u);
+  EXPECT_EQ(rows->back().second, "new-key");
+  ASSERT_TRUE(txn->Commit().ok());
+}
+
+TEST_P(RwScanTest, RepeatableWithinTransaction) {
+  Database db(Opts(GetParam()));
+  auto txn = db.Begin(TxnClass::kReadWrite);
+  auto first = txn->Scan(0, 9);
+  auto second = txn->Scan(0, 9);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+  ASSERT_TRUE(txn->Commit().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, RwScanTest,
+                         ::testing::Values(ProtocolKind::kVc2pl,
+                                           ProtocolKind::kVcTo,
+                                           ProtocolKind::kVcOcc,
+                                           ProtocolKind::kVcAdaptive));
+
+TEST(RwScanPhantomTest, ToOlderCreatorRejectedByRangeFloor) {
+  Database db(Opts(ProtocolKind::kVcTo));
+  auto creator = db.Begin(TxnClass::kReadWrite);   // tn = 1 (older)
+  auto scanner = db.Begin(TxnClass::kReadWrite);   // tn = 2 (younger)
+  auto rows = scanner->Scan(0, 100);               // raises floor to 2
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 10u);
+  // The older transaction now tries to CREATE key 50 inside the scanned
+  // range: its version (tn 1 <= 2) would be a phantom — rejected.
+  EXPECT_TRUE(creator->Write(50, "phantom").IsAborted());
+  ASSERT_TRUE(scanner->Write(5, "x").ok());
+  ASSERT_TRUE(scanner->Commit().ok());
+}
+
+TEST(RwScanPhantomTest, ToYoungerCreatorUnaffectedByFloor) {
+  Database db(Opts(ProtocolKind::kVcTo));
+  auto scanner = db.Begin(TxnClass::kReadWrite);   // tn = 1
+  auto creator = db.Begin(TxnClass::kReadWrite);   // tn = 2 (younger)
+  ASSERT_TRUE(scanner->Scan(0, 100).ok());         // floor = 1
+  // A younger creator's version (tn 2 > floor 1) can never appear in
+  // the scanner's snapshot: allowed.
+  EXPECT_TRUE(creator->Write(50, "later").ok());
+  ASSERT_TRUE(creator->Commit().ok());
+  // Re-scan by the same (older) scanner still excludes it: tn 2 > 1.
+  auto rows = scanner->Scan(0, 100);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 10u);
+  ASSERT_TRUE(scanner->Write(5, "x").ok());
+  ASSERT_TRUE(scanner->Commit().ok());
+}
+
+TEST(RwScanPhantomTest, ToScanBlocksOnOlderPendingCreation) {
+  Database db(Opts(ProtocolKind::kVcTo));
+  auto creator = db.Begin(TxnClass::kReadWrite);   // tn = 1
+  auto scanner = db.Begin(TxnClass::kReadWrite);   // tn = 2
+  ASSERT_TRUE(creator->Write(50, "newkey").ok());  // pending creation
+  std::atomic<bool> scanned{false};
+  size_t rows_seen = 0;
+  std::thread t([&] {
+    auto rows = scanner->Scan(0, 100);
+    if (rows.ok()) rows_seen = rows->size();
+    scanned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(scanned.load());  // blocked on the pending creation
+  ASSERT_TRUE(creator->Commit().ok());
+  t.join();
+  EXPECT_EQ(rows_seen, 11u);  // the scan includes the older creation
+  ASSERT_TRUE(scanner->Write(5, "x").ok());
+  ASSERT_TRUE(scanner->Commit().ok());
+}
+
+TEST(RwScanPhantomTest, TwoPlYoungerInserterDies) {
+  Database db(Opts(ProtocolKind::kVc2pl));
+  auto scanner = db.Begin(TxnClass::kReadWrite);   // older
+  auto inserter = db.Begin(TxnClass::kReadWrite);  // younger
+  ASSERT_TRUE(scanner->Scan(0, 100).ok());
+  // Inserting a NEW key inside the scanned range: wait-die kills the
+  // younger transaction at the range table.
+  Status s = inserter->Write(50, "phantom");
+  EXPECT_TRUE(s.IsAborted());
+  ASSERT_TRUE(scanner->Commit().ok());
+}
+
+TEST(RwScanPhantomTest, TwoPlOlderScannerWaitsForInserter) {
+  Database db(Opts(ProtocolKind::kVc2pl));
+  auto scanner = db.Begin(TxnClass::kReadWrite);   // older (waits)
+  auto inserter = db.Begin(TxnClass::kReadWrite);  // younger (holds)
+  ASSERT_TRUE(inserter->Write(50, "newkey").ok());
+  std::atomic<bool> scanned{false};
+  size_t rows_seen = 0;
+  std::thread t([&] {
+    auto rows = scanner->Scan(0, 100);
+    if (rows.ok()) rows_seen = rows->size();
+    scanned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(scanned.load());  // blocked on the insertion point
+  ASSERT_TRUE(inserter->Commit().ok());
+  t.join();
+  // The scan ran after the inserter: it must include the new key.
+  EXPECT_EQ(rows_seen, 11u);
+  ASSERT_TRUE(scanner->Commit().ok());
+}
+
+TEST(RwScanPhantomTest, TwoPlUpdateOfExistingKeyStillConflictsViaPointLocks) {
+  Database db(Opts(ProtocolKind::kVc2pl));
+  auto scanner = db.Begin(TxnClass::kReadWrite);   // older
+  auto writer = db.Begin(TxnClass::kReadWrite);    // younger
+  ASSERT_TRUE(scanner->Scan(0, 9).ok());  // S-locks every existing key
+  EXPECT_TRUE(writer->Write(5, "update").IsAborted());  // wait-die
+  ASSERT_TRUE(scanner->Commit().ok());
+}
+
+TEST(RwScanPhantomTest, OccScannerAbortsWhenRangeChanges) {
+  Database db(Opts(ProtocolKind::kVcOcc));
+  auto scanner = db.Begin(TxnClass::kReadWrite);
+  ASSERT_TRUE(scanner->Scan(0, 100).ok());
+  // A concurrent transaction creates a key inside the scanned range and
+  // validates first.
+  auto inserter = db.Begin(TxnClass::kReadWrite);
+  ASSERT_TRUE(inserter->Write(50, "phantom").ok());
+  ASSERT_TRUE(inserter->Commit().ok());
+  ASSERT_TRUE(scanner->Write(200, "out-of-range").ok());
+  EXPECT_TRUE(scanner->Commit().IsAborted());
+}
+
+TEST(RwScanPhantomTest, OccScannerSurvivesWritesOutsideRange) {
+  Database db(Opts(ProtocolKind::kVcOcc));
+  auto scanner = db.Begin(TxnClass::kReadWrite);
+  ASSERT_TRUE(scanner->Scan(0, 9).ok());
+  auto other = db.Begin(TxnClass::kReadWrite);
+  ASSERT_TRUE(other->Write(500, "elsewhere").ok());
+  ASSERT_TRUE(other->Commit().ok());
+  ASSERT_TRUE(scanner->Write(600, "y").ok());
+  EXPECT_TRUE(scanner->Commit().ok());
+}
+
+TEST(RwScanPhantomTest, SerialReScanAfterInsertSeesNewKey) {
+  // No concurrency: scan, commit, insert, re-scan.
+  for (ProtocolKind kind : {ProtocolKind::kVc2pl, ProtocolKind::kVcOcc}) {
+    Database db(Opts(kind));
+    auto first = db.Begin(TxnClass::kReadWrite);
+    auto rows1 = first->Scan(0, 100);
+    ASSERT_TRUE(rows1.ok());
+    ASSERT_TRUE(first->Commit().ok());
+    ASSERT_TRUE(db.Put(50, "new").ok());
+    auto second = db.Begin(TxnClass::kReadWrite);
+    auto rows2 = second->Scan(0, 100);
+    ASSERT_TRUE(rows2.ok());
+    EXPECT_EQ(rows2->size(), rows1->size() + 1) << ProtocolKindName(kind);
+    ASSERT_TRUE(second->Commit().ok());
+  }
+}
+
+}  // namespace
+}  // namespace mvcc

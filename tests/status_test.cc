@@ -1,0 +1,71 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace mvcc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status aborted = Status::Aborted("conflict");
+  EXPECT_FALSE(aborted.ok());
+  EXPECT_TRUE(aborted.IsAborted());
+  EXPECT_EQ(aborted.message(), "conflict");
+  EXPECT_EQ(aborted.ToString(), "Aborted: conflict");
+
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::Aborted("a"), Status::Aborted("b"));
+  EXPECT_FALSE(Status::Aborted("a") == Status::NotFound("a"));
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kAborted), "Aborted");
+  EXPECT_EQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, ImplicitConversionFromStatusAndValue) {
+  auto make = [](bool ok) -> Result<std::string> {
+    if (ok) return std::string("yes");
+    return Status::Aborted("no");
+  };
+  EXPECT_TRUE(make(true).ok());
+  EXPECT_TRUE(make(false).status().IsAborted());
+}
+
+}  // namespace
+}  // namespace mvcc

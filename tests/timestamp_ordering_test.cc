@@ -1,0 +1,175 @@
+#include "cc/timestamp_ordering.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "txn/database.h"
+
+namespace mvcc {
+namespace {
+
+DatabaseOptions Opts() {
+  DatabaseOptions opts;
+  opts.protocol = ProtocolKind::kVcTo;
+  opts.preload_keys = 16;
+  opts.initial_value = "init";
+  opts.record_history = true;
+  return opts;
+}
+
+TEST(VcToTest, TnAssignedAtBegin) {
+  Database db(Opts());
+  auto a = db.Begin(TxnClass::kReadWrite);
+  auto b = db.Begin(TxnClass::kReadWrite);
+  EXPECT_EQ(a->txn_number(), 1u);
+  EXPECT_EQ(b->txn_number(), 2u);
+  EXPECT_EQ(a->start_number(), 1u);  // sn(T) = tn(T) under TO
+  a->Abort();
+  b->Abort();
+}
+
+TEST(VcToTest, BasicReadWriteCommit) {
+  Database db(Opts());
+  auto txn = db.Begin(TxnClass::kReadWrite);
+  EXPECT_EQ(*txn->Read(2), "init");
+  ASSERT_TRUE(txn->Write(2, "two").ok());
+  EXPECT_EQ(*txn->Read(2), "two");
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_EQ(*db.Get(2), "two");
+}
+
+TEST(VcToTest, LateWriteAfterYoungerReadAborts) {
+  Database db(Opts());
+  auto t_old = db.Begin(TxnClass::kReadWrite);   // tn = 1
+  auto t_young = db.Begin(TxnClass::kReadWrite); // tn = 2
+  // Younger transaction reads x: r-ts(x) = 2.
+  EXPECT_EQ(*t_young->Read(5), "init");
+  // Older transaction now tries to write x: rejected (r-ts > tn).
+  Status s = t_old->Write(5, "late");
+  EXPECT_TRUE(s.IsAborted());
+  EXPECT_FALSE(t_old->active());
+  ASSERT_TRUE(t_young->Write(6, "y").ok());
+  ASSERT_TRUE(t_young->Commit().ok());
+}
+
+TEST(VcToTest, LateWriteAfterYoungerWriteAborts) {
+  Database db(Opts());
+  auto t_old = db.Begin(TxnClass::kReadWrite);   // tn = 1
+  auto t_young = db.Begin(TxnClass::kReadWrite); // tn = 2
+  ASSERT_TRUE(t_young->Write(5, "young").ok());  // w-ts(x) = 2 (pending)
+  Status s = t_old->Write(5, "old");
+  EXPECT_TRUE(s.IsAborted());
+  ASSERT_TRUE(t_young->Commit().ok());
+  EXPECT_EQ(*db.Get(5), "young");
+}
+
+TEST(VcToTest, ReadBlocksOnOlderPendingWrite) {
+  Database db(Opts());
+  auto t_old = db.Begin(TxnClass::kReadWrite);   // tn = 1
+  auto t_young = db.Begin(TxnClass::kReadWrite); // tn = 2
+  ASSERT_TRUE(t_old->Write(5, "pending").ok());
+
+  std::atomic<bool> read_done{false};
+  Value observed;
+  std::thread reader([&] {
+    observed = *t_young->Read(5);
+    read_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(read_done.load());  // blocked on t_old's pending write
+  EXPECT_GE(db.counters().rw_blocks.load(), 1u);
+  ASSERT_TRUE(t_old->Commit().ok());
+  reader.join();
+  EXPECT_EQ(observed, "pending");
+  ASSERT_TRUE(t_young->Commit().ok());
+}
+
+TEST(VcToTest, ReadUnblocksWhenPendingWriterAborts) {
+  Database db(Opts());
+  auto t_old = db.Begin(TxnClass::kReadWrite);
+  auto t_young = db.Begin(TxnClass::kReadWrite);
+  ASSERT_TRUE(t_old->Write(5, "doomed").ok());
+  std::atomic<bool> read_done{false};
+  Value observed;
+  std::thread reader([&] {
+    observed = *t_young->Read(5);
+    read_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(read_done.load());
+  t_old->Abort();
+  reader.join();
+  EXPECT_EQ(observed, "init");  // aborted write never existed
+  ASSERT_TRUE(t_young->Commit().ok());
+}
+
+TEST(VcToTest, ReadOnlyNeverBlocksOnPendingWrites) {
+  Database db(Opts());
+  auto writer = db.Begin(TxnClass::kReadWrite);
+  ASSERT_TRUE(writer->Write(5, "pending").ok());
+  auto reader = db.Begin(TxnClass::kReadOnly);
+  EXPECT_EQ(*reader->Read(5), "init");  // snapshot below the writer
+  EXPECT_EQ(db.counters().ro_blocks.load(), 0u);
+  ASSERT_TRUE(writer->Commit().ok());
+}
+
+TEST(VcToTest, OlderReadSeesOlderVersionAfterYoungerCommit) {
+  Database db(Opts());
+  auto t_old = db.Begin(TxnClass::kReadWrite);   // tn = 1
+  auto t_young = db.Begin(TxnClass::kReadWrite); // tn = 2
+  ASSERT_TRUE(t_young->Write(5, "young").ok());
+  ASSERT_TRUE(t_young->Commit().ok());
+  // tn=1 reads the version <= 1, i.e. the initial version, not "young".
+  EXPECT_EQ(*t_old->Read(5), "init");
+  ASSERT_TRUE(t_old->Write(6, "x").ok());
+  ASSERT_TRUE(t_old->Commit().ok());
+}
+
+TEST(VcToTest, AbortDiscardsRegistration) {
+  Database db(Opts());
+  auto txn = db.Begin(TxnClass::kReadWrite);
+  ASSERT_TRUE(txn->Write(1, "x").ok());
+  EXPECT_EQ(db.version_control().QueueSize(), 1u);
+  txn->Abort();
+  EXPECT_EQ(db.version_control().QueueSize(), 0u);
+  EXPECT_EQ(*db.Get(1), "init");
+}
+
+TEST(VcToTest, VisibilityFollowsSerialOrderNotCommitOrder) {
+  Database db(Opts());
+  auto t1 = db.Begin(TxnClass::kReadWrite);  // tn = 1
+  auto t2 = db.Begin(TxnClass::kReadWrite);  // tn = 2
+  ASSERT_TRUE(t2->Write(2, "two").ok());
+  ASSERT_TRUE(t2->Commit().ok());
+  // t2 committed, but t1 (older) is still active: not yet visible.
+  auto reader = db.Begin(TxnClass::kReadOnly);
+  EXPECT_EQ(reader->start_number(), 0u);
+  EXPECT_EQ(*reader->Read(2), "init");
+  ASSERT_TRUE(t1->Write(1, "one").ok());
+  ASSERT_TRUE(t1->Commit().ok());
+  // Now both are visible.
+  auto reader2 = db.Begin(TxnClass::kReadOnly);
+  EXPECT_EQ(reader2->start_number(), 2u);
+  EXPECT_EQ(*reader2->Read(2), "two");
+  EXPECT_EQ(*reader2->Read(1), "one");
+}
+
+TEST(VcToTest, MetadataHooks) {
+  Database db(Opts());
+  auto* to = dynamic_cast<TimestampOrdering*>(&db.protocol());
+  ASSERT_NE(to, nullptr);
+  auto txn = db.Begin(TxnClass::kReadWrite);
+  EXPECT_EQ(*txn->Read(3), "init");
+  EXPECT_EQ(to->ReadTimestamp(3), txn->txn_number());
+  ASSERT_TRUE(txn->Write(4, "w").ok());
+  EXPECT_EQ(to->WriteTimestamp(4), txn->txn_number());
+  EXPECT_EQ(to->PendingCount(4), 1u);
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_EQ(to->PendingCount(4), 0u);
+}
+
+}  // namespace
+}  // namespace mvcc

@@ -1,0 +1,101 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "history/serializability.h"
+
+namespace mvcc {
+namespace {
+
+WorkloadSpec Spec() {
+  WorkloadSpec spec;
+  spec.num_keys = 32;
+  spec.read_only_fraction = 0.4;
+  spec.zipf_theta = 0.5;
+  spec.seed = 77;
+  return spec;
+}
+
+TEST(TraceTest, GenerateIsDeterministic) {
+  Trace a = Trace::Generate(Spec(), 3, 50);
+  Trace b = Trace::Generate(Spec(), 3, 50);
+  ASSERT_EQ(a.threads.size(), 3u);
+  EXPECT_EQ(a.TotalTxns(), 150u);
+  ASSERT_EQ(a.Serialize(), b.Serialize());
+}
+
+TEST(TraceTest, SerializeRoundTrip) {
+  Trace trace = Trace::Generate(Spec(), 2, 25);
+  auto restored = Trace::Deserialize(trace.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->Serialize(), trace.Serialize());
+  EXPECT_EQ(restored->TotalTxns(), 50u);
+}
+
+TEST(TraceTest, DeserializeRejectsCorruptImages) {
+  Trace trace = Trace::Generate(Spec(), 1, 5);
+  const std::string image = trace.Serialize();
+  EXPECT_FALSE(Trace::Deserialize("junk").ok());
+  EXPECT_FALSE(
+      Trace::Deserialize(image.substr(0, image.size() - 4)).ok());
+  EXPECT_FALSE(Trace::Deserialize(image + "z").ok());
+}
+
+TEST(TraceTest, ReplayExecutesEveryTransaction) {
+  DatabaseOptions opts;
+  opts.protocol = ProtocolKind::kVc2pl;
+  opts.preload_keys = 32;
+  Database db(opts);
+  Trace trace = Trace::Generate(Spec(), 4, 60);
+  RunResult result = ReplayTrace(&db, trace);
+  EXPECT_EQ(result.committed() + result.aborted(), trace.TotalTxns());
+  EXPECT_GT(result.committed(), 0u);
+}
+
+TEST(TraceTest, SameTraceAcrossProtocolsStaysSerializable) {
+  // The fairness tool in action: one fixed trace, every VC protocol.
+  Trace trace = Trace::Generate(Spec(), 4, 80);
+  for (ProtocolKind kind : {ProtocolKind::kVc2pl, ProtocolKind::kVcTo,
+                            ProtocolKind::kVcOcc,
+                            ProtocolKind::kVcAdaptive}) {
+    DatabaseOptions opts;
+    opts.protocol = kind;
+    opts.preload_keys = 32;
+    opts.record_history = true;
+    Database db(opts);
+    RunResult result = ReplayTrace(&db, trace);
+    EXPECT_GT(result.committed(), 0u) << ProtocolKindName(kind);
+    auto verdict = CheckOneCopySerializable(*db.history());
+    EXPECT_TRUE(verdict.one_copy_serializable) << ProtocolKindName(kind);
+    // Identical input guarantees: read-only attempt counts match the
+    // trace exactly (VC read-only transactions can never abort).
+    uint64_t trace_ro = 0;
+    for (const auto& plans : trace.threads) {
+      for (const TxnPlan& plan : plans) {
+        trace_ro += plan.cls == TxnClass::kReadOnly ? 1 : 0;
+      }
+    }
+    EXPECT_EQ(result.committed_ro, trace_ro) << ProtocolKindName(kind);
+  }
+}
+
+TEST(TraceTest, SingleThreadedReplayCommitsEverything) {
+  // One thread, no concurrency: nothing can conflict, so every
+  // transaction in the trace commits under every protocol.
+  Trace trace = Trace::Generate(Spec(), 1, 100);
+  for (ProtocolKind kind :
+       {ProtocolKind::kVc2pl, ProtocolKind::kVcTo, ProtocolKind::kVcOcc,
+        ProtocolKind::kMvto, ProtocolKind::kMv2plCtl, ProtocolKind::kSv2pl,
+        ProtocolKind::kWeihlTi}) {
+    DatabaseOptions opts;
+    opts.protocol = kind;
+    opts.preload_keys = 32;
+    Database db(opts);
+    RunResult result = ReplayTrace(&db, trace);
+    EXPECT_EQ(result.committed(), 100u) << ProtocolKindName(kind);
+    EXPECT_EQ(result.aborted(), 0u) << ProtocolKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace mvcc

@@ -1,0 +1,92 @@
+#include "vc/vc_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace mvcc {
+namespace {
+
+TEST(VcQueueTest, StartsEmpty) {
+  VcQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_FALSE(queue.OldestNumber().has_value());
+  EXPECT_FALSE(queue.DrainCompletedHead().has_value());
+}
+
+TEST(VcQueueTest, InsertAndContains) {
+  VcQueue queue;
+  queue.Insert(5, 101);
+  queue.Insert(7, 102);
+  EXPECT_TRUE(queue.Contains(5));
+  EXPECT_TRUE(queue.Contains(7));
+  EXPECT_FALSE(queue.Contains(6));
+  EXPECT_EQ(queue.OldestNumber().value(), 5u);
+}
+
+TEST(VcQueueTest, DrainStopsAtActiveHead) {
+  VcQueue queue;
+  queue.Insert(1, 11);
+  queue.Insert(2, 12);
+  queue.MarkComplete(2);
+  // Head (1) is still active: nothing drains.
+  EXPECT_FALSE(queue.DrainCompletedHead().has_value());
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(VcQueueTest, DrainPopsCompletedPrefix) {
+  VcQueue queue;
+  queue.Insert(1, 11);
+  queue.Insert(2, 12);
+  queue.Insert(3, 13);
+  queue.MarkComplete(1);
+  queue.MarkComplete(2);
+  auto drained = queue.DrainCompletedHead();
+  ASSERT_TRUE(drained.has_value());
+  EXPECT_EQ(*drained, 2u);  // the last popped = new vtnc
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_TRUE(queue.Contains(3));
+}
+
+TEST(VcQueueTest, OutOfOrderCompletionDelaysDrain) {
+  VcQueue queue;
+  queue.Insert(1, 11);
+  queue.Insert(2, 12);
+  queue.Insert(3, 13);
+  queue.MarkComplete(3);
+  queue.MarkComplete(2);
+  EXPECT_FALSE(queue.DrainCompletedHead().has_value());
+  queue.MarkComplete(1);
+  EXPECT_EQ(queue.DrainCompletedHead().value(), 3u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(VcQueueTest, EraseUnblocksDrain) {
+  VcQueue queue;
+  queue.Insert(1, 11);
+  queue.Insert(2, 12);
+  queue.MarkComplete(2);
+  queue.Erase(1);  // abort of the head transaction
+  EXPECT_EQ(queue.DrainCompletedHead().value(), 2u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(VcQueueTest, HasActiveAtOrBelow) {
+  VcQueue queue;
+  queue.Insert(5, 11);
+  queue.Insert(9, 12);
+  queue.MarkComplete(5);
+  EXPECT_FALSE(queue.HasActiveAtOrBelow(4));
+  EXPECT_FALSE(queue.HasActiveAtOrBelow(5));  // 5 completed
+  EXPECT_FALSE(queue.HasActiveAtOrBelow(8));
+  EXPECT_TRUE(queue.HasActiveAtOrBelow(9));
+  EXPECT_TRUE(queue.HasActiveAtOrBelow(100));
+}
+
+TEST(VcQueueTest, MarkCompleteOnMissingIsNoop) {
+  VcQueue queue;
+  queue.MarkComplete(17);
+  EXPECT_TRUE(queue.empty());
+}
+
+}  // namespace
+}  // namespace mvcc

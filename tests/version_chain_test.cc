@@ -1,0 +1,125 @@
+#include "storage/version_chain.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace mvcc {
+namespace {
+
+Version V(VersionNumber n, const char* value, TxnId writer = 1) {
+  return Version{n, value, writer};
+}
+
+TEST(VersionChainTest, EmptyChainReads) {
+  VersionChain chain;
+  EXPECT_TRUE(chain.Read(10).status().IsNotFound());
+  EXPECT_TRUE(chain.ReadLatest().status().IsNotFound());
+  EXPECT_EQ(chain.size(), 0u);
+  EXPECT_EQ(chain.LatestNumber(), kInvalidTxnNumber);
+}
+
+TEST(VersionChainTest, ReadLargestVersionAtMost) {
+  VersionChain chain;
+  chain.Install(V(0, "v0"));
+  chain.Install(V(5, "v5"));
+  chain.Install(V(9, "v9"));
+
+  EXPECT_EQ(chain.Read(0)->value, "v0");
+  EXPECT_EQ(chain.Read(4)->value, "v0");
+  EXPECT_EQ(chain.Read(5)->value, "v5");
+  EXPECT_EQ(chain.Read(8)->value, "v5");
+  EXPECT_EQ(chain.Read(9)->value, "v9");
+  EXPECT_EQ(chain.Read(100)->value, "v9");
+  EXPECT_EQ(chain.Read(5)->version, 5u);
+}
+
+TEST(VersionChainTest, ReadLatest) {
+  VersionChain chain;
+  chain.Install(V(3, "a"));
+  chain.Install(V(7, "b"));
+  EXPECT_EQ(chain.ReadLatest()->value, "b");
+  EXPECT_EQ(chain.ReadLatest()->version, 7u);
+  EXPECT_EQ(chain.LatestNumber(), 7u);
+}
+
+TEST(VersionChainTest, OutOfOrderInstallKeepsSortedOrder) {
+  // TO writers may commit out of tn order.
+  VersionChain chain;
+  chain.Install(V(10, "ten"));
+  chain.Install(V(4, "four"));
+  chain.Install(V(7, "seven"));
+  EXPECT_EQ(chain.Read(5)->value, "four");
+  EXPECT_EQ(chain.Read(8)->value, "seven");
+  EXPECT_EQ(chain.ReadLatest()->value, "ten");
+  EXPECT_EQ(chain.size(), 3u);
+}
+
+TEST(VersionChainTest, WriterAttribution) {
+  VersionChain chain;
+  chain.Install(Version{2, "x", /*writer=*/42});
+  EXPECT_EQ(chain.Read(2)->writer, 42u);
+}
+
+TEST(VersionChainTest, PruneKeepsNewestVisible) {
+  VersionChain chain;
+  for (VersionNumber n : {0, 2, 4, 6, 8}) {
+    chain.Install(V(n, "v"));
+  }
+  // Watermark 5: versions 0 and 2 are unreachable (4 is the newest <= 5).
+  EXPECT_EQ(chain.Prune(5), 2u);
+  EXPECT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain.Read(5)->version, 4u);   // still readable at watermark
+  EXPECT_EQ(chain.Read(100)->version, 8u);
+  EXPECT_TRUE(chain.Read(1).status().IsNotFound());
+}
+
+TEST(VersionChainTest, PruneBelowOldestIsNoop) {
+  VersionChain chain;
+  chain.Install(V(5, "v"));
+  EXPECT_EQ(chain.Prune(4), 0u);
+  EXPECT_EQ(chain.Prune(5), 0u);  // newest <= 5 is version 5: retained
+  EXPECT_EQ(chain.size(), 1u);
+}
+
+TEST(VersionChainTest, PruneEverythingButLatest) {
+  VersionChain chain;
+  for (VersionNumber n = 0; n < 100; ++n) chain.Install(V(n, "v"));
+  EXPECT_EQ(chain.Prune(1000), 99u);
+  EXPECT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain.ReadLatest()->version, 99u);
+}
+
+TEST(VersionChainTest, ReadIfSkipsExcludedVersions) {
+  VersionChain chain;
+  chain.Install(V(0, "v0"));
+  chain.Install(V(5, "v5"));
+  chain.Install(V(7, "v7"));
+  // Reader whose CTL copy excludes version 7.
+  auto in_ctl = [](VersionNumber v) { return v != 7; };
+  EXPECT_EQ(chain.ReadIf(10, in_ctl)->value, "v5");
+  EXPECT_EQ(chain.ReadIf(6, in_ctl)->value, "v5");
+  EXPECT_EQ(chain.ReadIf(4, in_ctl)->value, "v0");
+  auto nothing = [](VersionNumber) { return false; };
+  EXPECT_TRUE(chain.ReadIf(10, nothing).status().IsNotFound());
+}
+
+TEST(VersionChainTest, ConcurrentInstallAndRead) {
+  VersionChain chain;
+  chain.Install(V(0, "init"));
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      auto r = chain.Read(1000000);
+      ASSERT_TRUE(r.ok());
+    }
+  });
+  for (VersionNumber n = 1; n <= 5000; ++n) chain.Install(V(n, "v"));
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(chain.size(), 5001u);
+}
+
+}  // namespace
+}  // namespace mvcc

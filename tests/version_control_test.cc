@@ -1,0 +1,210 @@
+#include "vc/version_control.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace mvcc {
+namespace {
+
+TEST(VersionControlTest, InitialCounters) {
+  VersionControl vc;
+  EXPECT_EQ(vc.Start(), 0u);       // vtnc = 0
+  EXPECT_EQ(vc.NextNumber(), 1u);  // tnc = 1; invariant vtnc < tnc
+  EXPECT_EQ(vc.QueueSize(), 0u);
+}
+
+TEST(VersionControlTest, RegisterAssignsDenseNumbers) {
+  VersionControl vc;
+  EXPECT_EQ(vc.Register(10), 1u);
+  EXPECT_EQ(vc.Register(11), 2u);
+  EXPECT_EQ(vc.Register(12), 3u);
+  EXPECT_EQ(vc.QueueSize(), 3u);
+  EXPECT_EQ(vc.NextNumber(), 4u);
+}
+
+TEST(VersionControlTest, CompleteInOrderAdvancesVtnc) {
+  VersionControl vc;
+  const TxnNumber t1 = vc.Register(1);
+  const TxnNumber t2 = vc.Register(2);
+  vc.Complete(t1);
+  EXPECT_EQ(vc.Start(), t1);
+  vc.Complete(t2);
+  EXPECT_EQ(vc.Start(), t2);
+  EXPECT_EQ(vc.QueueSize(), 0u);
+}
+
+TEST(VersionControlTest, OutOfOrderCompletionDelaysVisibility) {
+  // The central mechanism: a completed younger transaction stays
+  // invisible while an older registered transaction is active.
+  VersionControl vc;
+  const TxnNumber t1 = vc.Register(1);
+  const TxnNumber t2 = vc.Register(2);
+  vc.Complete(t2);
+  EXPECT_EQ(vc.Start(), 0u);  // t2's updates are NOT visible yet
+  vc.Complete(t1);
+  EXPECT_EQ(vc.Start(), t2);  // both become visible, in serial order
+}
+
+TEST(VersionControlTest, DiscardReleasesDelayedVisibility) {
+  // The documented deviation from Figure 1: discarding the head must
+  // drain the completed suffix, otherwise vtnc stalls forever.
+  VersionControl vc;
+  const TxnNumber t1 = vc.Register(1);
+  const TxnNumber t2 = vc.Register(2);
+  const TxnNumber t3 = vc.Register(3);
+  vc.Complete(t2);
+  vc.Complete(t3);
+  EXPECT_EQ(vc.Start(), 0u);
+  vc.Discard(t1);  // abort of the oldest
+  EXPECT_EQ(vc.Start(), t3);
+}
+
+TEST(VersionControlTest, DiscardMiddleLeavesVtncAlone) {
+  VersionControl vc;
+  const TxnNumber t1 = vc.Register(1);
+  const TxnNumber t2 = vc.Register(2);
+  const TxnNumber t3 = vc.Register(3);
+  vc.Discard(t2);
+  EXPECT_EQ(vc.Start(), 0u);
+  vc.Complete(t1);
+  EXPECT_EQ(vc.Start(), t1);
+  vc.Complete(t3);
+  EXPECT_EQ(vc.Start(), t3);
+}
+
+TEST(VersionControlTest, VtncStrictlyBelowTnc) {
+  VersionControl vc;
+  for (int i = 0; i < 100; ++i) {
+    const TxnNumber tn = vc.Register(i);
+    vc.Complete(tn);
+    EXPECT_LT(vc.Start(), vc.NextNumber());
+  }
+}
+
+TEST(VersionControlTest, StartAtLeastBlocksUntilVisible) {
+  VersionControl vc;
+  const TxnNumber t1 = vc.Register(1);
+  std::atomic<TxnNumber> observed{0};
+  std::thread reader([&] { observed.store(vc.StartAtLeast(t1)); });
+  // Give the reader a moment to block.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(observed.load(), 0u);
+  vc.Complete(t1);
+  reader.join();
+  EXPECT_GE(observed.load(), t1);
+}
+
+TEST(VersionControlTest, StartAtLeastReturnsImmediatelyWhenVisible) {
+  VersionControl vc;
+  const TxnNumber t1 = vc.Register(1);
+  vc.Complete(t1);
+  EXPECT_EQ(vc.StartAtLeast(t1), t1);
+}
+
+TEST(VersionControlTest, WaitNoActiveAtOrBelow) {
+  VersionControl vc;
+  const TxnNumber t1 = vc.Register(1);
+  const TxnNumber t2 = vc.Register(2);
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    vc.WaitNoActiveAtOrBelow(t1);
+    released.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(released.load());
+  vc.Complete(t1);  // t2 > t1 does not matter for the bound
+  waiter.join();
+  EXPECT_TRUE(released.load());
+  vc.Complete(t2);
+}
+
+TEST(VersionControlTest, AdvanceCounterPast) {
+  VersionControl vc;
+  vc.AdvanceCounterPast(100);
+  EXPECT_EQ(vc.Register(1), 101u);
+  vc.AdvanceCounterPast(50);  // already past: no-op
+  EXPECT_EQ(vc.Register(2), 102u);
+}
+
+TEST(VersionControlTest, SiteTaggedNumbersEmbedTiebreak) {
+  VersionControl vc(NumberingMode::kSiteTagged);
+  const TxnNumber a = vc.Register(1, /*tiebreak=*/7);
+  const TxnNumber b = vc.Register(2, /*tiebreak=*/9);
+  EXPECT_EQ(a, (uint64_t{1} << 32) | 7);
+  EXPECT_EQ(b, (uint64_t{2} << 32) | 9);
+  EXPECT_LT(a, b);
+}
+
+TEST(VersionControlTest, PromoteMovesEntryForward) {
+  VersionControl vc(NumberingMode::kSiteTagged);
+  const TxnNumber proposed = vc.Register(1, 5);
+  const TxnNumber agreed = ((proposed >> 32) + 10) << 32 | 5;
+  vc.Promote(proposed, agreed);
+  // Future registrations exceed the agreed number.
+  EXPECT_GT(vc.Register(2, 6), agreed);
+  vc.Complete(agreed);
+  EXPECT_EQ(vc.Start(), agreed);
+}
+
+TEST(VersionControlTest, PromoteToSameNumberBumpsCounter) {
+  VersionControl vc(NumberingMode::kSiteTagged);
+  const TxnNumber proposed = vc.Register(1, 5);
+  vc.Promote(proposed, proposed);
+  EXPECT_GT(vc.Register(2, 6), proposed);
+  vc.Complete(proposed);
+}
+
+TEST(VersionControlTest, ConcurrentRegistrationStress) {
+  // The two counter properties must hold under concurrency:
+  //  - every Start() value is < every later-assigned tn (ordering);
+  //  - Start() never exceeds a tn that has not completed (visibility).
+  VersionControl vc;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const TxnNumber before = vc.Start();
+        const TxnNumber tn = vc.Register(1);
+        if (before >= tn) failed.store(true);
+        const TxnNumber visible = vc.Start();
+        if (visible >= tn) failed.store(true);  // we have not completed
+        vc.Complete(tn);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(vc.QueueSize(), 0u);
+  EXPECT_EQ(vc.Start(), uint64_t{kThreads} * kPerThread);
+}
+
+TEST(VersionControlTest, ConcurrentMixedCompleteAndDiscard) {
+  VersionControl vc;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const TxnNumber tn = vc.Register(1);
+        if ((i + t) % 3 == 0) {
+          vc.Discard(tn);
+        } else {
+          vc.Complete(tn);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(vc.QueueSize(), 0u);
+  EXPECT_LT(vc.Start(), vc.NextNumber());
+}
+
+}  // namespace
+}  // namespace mvcc

@@ -1,0 +1,111 @@
+#include "baselines/weihl_ti.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "txn/database.h"
+
+namespace mvcc {
+namespace {
+
+DatabaseOptions Opts() {
+  DatabaseOptions opts;
+  opts.protocol = ProtocolKind::kWeihlTi;
+  opts.preload_keys = 16;
+  opts.initial_value = "init";
+  opts.record_history = true;
+  return opts;
+}
+
+TEST(WeihlTiTest, BasicReadWriteCommit) {
+  Database db(Opts());
+  auto txn = db.Begin(TxnClass::kReadWrite);
+  EXPECT_EQ(*txn->Read(1), "init");
+  ASSERT_TRUE(txn->Write(1, "one").ok());
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_EQ(*db.Get(1), "one");
+}
+
+TEST(WeihlTiTest, ReadOnlyReadRaisesFloorMetadata) {
+  Database db(Opts());
+  ASSERT_TRUE(db.Put(3, "x").ok());
+  auto reader = db.Begin(TxnClass::kReadOnly);
+  EXPECT_EQ(*reader->Read(3), "x");
+  // The reader synchronized on the object's timestamp: a metadata write.
+  EXPECT_GE(db.counters().ro_metadata_writes.load(), 1u);
+  EXPECT_TRUE(reader->Commit().ok());
+}
+
+TEST(WeihlTiTest, ReaderWaitsOutUndecidedWriter) {
+  Database db(Opts());
+  ASSERT_TRUE(db.Put(5, "committed").ok());  // clock = 1
+  auto writer = db.Begin(TxnClass::kReadWrite);
+  ASSERT_TRUE(writer->Write(5, "pending").ok());  // undecided writer
+  auto reader = db.Begin(TxnClass::kReadOnly);    // ts_R = 1
+
+  std::atomic<bool> done{false};
+  Value observed;
+  std::thread t([&] {
+    observed = *reader->Read(5);
+    done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(done.load());  // negotiation in progress
+  EXPECT_GE(db.counters().negotiation_rounds.load(), 1u);
+  EXPECT_GE(db.counters().ro_blocks.load(), 1u);
+  ASSERT_TRUE(writer->Commit().ok());
+  t.join();
+  // The writer decided ABOVE the reader's floor: the reader's snapshot
+  // excludes it and stays consistent.
+  EXPECT_EQ(observed, "committed");
+  EXPECT_TRUE(reader->Commit().ok());
+}
+
+TEST(WeihlTiTest, FloorForcesLaterWriterAboveReader) {
+  Database db(Opts());
+  ASSERT_TRUE(db.Put(5, "v1").ok());           // ts = 1
+  auto reader = db.Begin(TxnClass::kReadOnly); // ts_R = 1
+  EXPECT_EQ(*reader->Read(5), "v1");           // floor(5) = 1
+  // A writer that commits now must get ts > 1.
+  auto writer = db.Begin(TxnClass::kReadWrite);
+  ASSERT_TRUE(writer->Write(5, "v2").ok());
+  ASSERT_TRUE(writer->Commit().ok());
+  EXPECT_GT(writer->txn_number(), reader->start_number());
+  // Re-reading yields the same snapshot value.
+  EXPECT_EQ(*reader->Read(5), "v1");
+  EXPECT_TRUE(reader->Commit().ok());
+}
+
+TEST(WeihlTiTest, ReadOnlySnapshotIgnoresLaterCommits) {
+  Database db(Opts());
+  ASSERT_TRUE(db.Put(3, "first").ok());
+  auto reader = db.Begin(TxnClass::kReadOnly);
+  ASSERT_TRUE(db.Put(3, "second").ok());
+  EXPECT_EQ(*reader->Read(3), "first");
+  EXPECT_TRUE(reader->Commit().ok());
+}
+
+TEST(WeihlTiTest, AbortedWriterUnblocksReader) {
+  Database db(Opts());
+  ASSERT_TRUE(db.Put(5, "base").ok());
+  auto writer = db.Begin(TxnClass::kReadWrite);
+  ASSERT_TRUE(writer->Write(5, "doomed").ok());
+  auto reader = db.Begin(TxnClass::kReadOnly);
+  std::atomic<bool> done{false};
+  Value observed;
+  std::thread t([&] {
+    observed = *reader->Read(5);
+    done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  writer->Abort();
+  t.join();
+  EXPECT_EQ(observed, "base");
+  EXPECT_TRUE(reader->Commit().ok());
+}
+
+}  // namespace
+}  // namespace mvcc

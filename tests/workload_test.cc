@@ -1,0 +1,217 @@
+#include "workload/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+#include "workload/report.h"
+
+namespace mvcc {
+namespace {
+
+TEST(GeneratorTest, DeterministicForSameSeedAndStream) {
+  WorkloadSpec spec;
+  spec.seed = 9;
+  WorkloadGenerator a(spec, 1), b(spec, 1);
+  for (int i = 0; i < 50; ++i) {
+    TxnPlan pa = a.Next(), pb = b.Next();
+    ASSERT_EQ(pa.cls, pb.cls);
+    ASSERT_EQ(pa.ops.size(), pb.ops.size());
+    for (size_t j = 0; j < pa.ops.size(); ++j) {
+      EXPECT_EQ(pa.ops[j].key, pb.ops[j].key);
+      EXPECT_EQ(pa.ops[j].is_write, pb.ops[j].is_write);
+    }
+  }
+}
+
+TEST(GeneratorTest, DifferentStreamsDiffer) {
+  WorkloadSpec spec;
+  WorkloadGenerator a(spec, 1), b(spec, 2);
+  bool any_difference = false;
+  for (int i = 0; i < 50 && !any_difference; ++i) {
+    TxnPlan pa = a.Next(), pb = b.Next();
+    if (pa.cls != pb.cls || pa.ops.size() != pb.ops.size()) {
+      any_difference = true;
+      break;
+    }
+    for (size_t j = 0; j < pa.ops.size(); ++j) {
+      if (pa.ops[j].key != pb.ops[j].key) any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(GeneratorTest, ReadWritePlansContainAWrite) {
+  WorkloadSpec spec;
+  spec.read_only_fraction = 0.0;
+  spec.write_fraction = 0.01;  // force the fallback path often
+  WorkloadGenerator gen(spec, 1);
+  for (int i = 0; i < 200; ++i) {
+    TxnPlan plan = gen.Next();
+    ASSERT_EQ(plan.cls, TxnClass::kReadWrite);
+    bool has_write = false;
+    for (const PlannedOp& op : plan.ops) has_write |= op.is_write;
+    EXPECT_TRUE(has_write);
+  }
+}
+
+TEST(GeneratorTest, ReadOnlyPlansNeverWrite) {
+  WorkloadSpec spec;
+  spec.read_only_fraction = 1.0;
+  WorkloadGenerator gen(spec, 1);
+  for (int i = 0; i < 100; ++i) {
+    TxnPlan plan = gen.Next();
+    ASSERT_EQ(plan.cls, TxnClass::kReadOnly);
+    for (const PlannedOp& op : plan.ops) EXPECT_FALSE(op.is_write);
+  }
+}
+
+TEST(GeneratorTest, KeysRespectRange) {
+  WorkloadSpec spec;
+  spec.num_keys = 37;
+  spec.zipf_theta = 0.9;
+  WorkloadGenerator gen(spec, 3);
+  for (int i = 0; i < 100; ++i) {
+    for (const PlannedOp& op : gen.Next().ops) EXPECT_LT(op.key, 37u);
+  }
+}
+
+TEST(GeneratorTest, ScanFractionProducesScans) {
+  WorkloadSpec spec;
+  spec.scan_fraction = 0.5;
+  spec.scan_span = 4;
+  WorkloadGenerator gen(spec, 1);
+  int scans = 0, total = 0;
+  for (int i = 0; i < 100; ++i) {
+    for (const PlannedOp& op : gen.Next().ops) {
+      ++total;
+      if (op.is_scan) {
+        ++scans;
+        EXPECT_EQ(op.span, 4u);
+        EXPECT_FALSE(op.is_write);
+      }
+    }
+  }
+  EXPECT_GT(scans, total / 4);
+  EXPECT_LT(scans, 3 * total / 4);
+}
+
+TEST(GeneratorTest, ZeroScanFractionProducesNone) {
+  WorkloadSpec spec;
+  spec.scan_fraction = 0.0;
+  WorkloadGenerator gen(spec, 1);
+  for (int i = 0; i < 50; ++i) {
+    for (const PlannedOp& op : gen.Next().ops) EXPECT_FALSE(op.is_scan);
+  }
+}
+
+TEST(GeneratorTest, MakeValueHasRequestedSize) {
+  WorkloadSpec spec;
+  spec.value_size = 16;
+  WorkloadGenerator gen(spec, 1);
+  EXPECT_EQ(gen.MakeValue(12345).size(), 16u);
+}
+
+TEST(RunnerTest, FixedTransactionCount) {
+  DatabaseOptions opts;
+  opts.protocol = ProtocolKind::kVc2pl;
+  opts.preload_keys = 100;
+  Database db(opts);
+  WorkloadSpec spec;
+  spec.num_keys = 100;
+  spec.read_only_fraction = 0.5;
+  RunOptions run;
+  run.threads = 2;
+  run.txns_per_thread = 200;
+  RunResult result = RunWorkload(&db, spec, run);
+  EXPECT_EQ(result.committed() + result.aborted(), 400u);
+  EXPECT_GT(result.committed(), 0u);
+  EXPECT_GT(result.seconds, 0.0);
+  EXPECT_GT(result.Throughput(), 0.0);
+  EXPECT_FALSE(result.Summary().empty());
+}
+
+TEST(RunnerTest, ReadOnlyOnlyWorkloadCommitsEverything) {
+  DatabaseOptions opts;
+  opts.protocol = ProtocolKind::kVcTo;
+  opts.preload_keys = 50;
+  Database db(opts);
+  WorkloadSpec spec;
+  spec.num_keys = 50;
+  spec.read_only_fraction = 1.0;
+  RunOptions run;
+  run.threads = 4;
+  run.txns_per_thread = 100;
+  RunResult result = RunWorkload(&db, spec, run);
+  EXPECT_EQ(result.committed_ro, 400u);
+  EXPECT_EQ(result.aborted(), 0u);
+  EXPECT_EQ(result.AbortRate(), 0.0);
+}
+
+TEST(RunnerTest, LagSamplingRecordsQueueDepths) {
+  DatabaseOptions opts;
+  opts.protocol = ProtocolKind::kVcTo;  // registers at begin: lag visible
+  opts.preload_keys = 64;
+  Database db(opts);
+  WorkloadSpec spec;
+  spec.num_keys = 64;
+  spec.read_only_fraction = 0.3;
+  RunOptions run;
+  run.threads = 4;
+  run.txns_per_thread = 200;
+  run.lag_sample_every = 10;
+  RunResult result = RunWorkload(&db, spec, run);
+  EXPECT_GT(result.lag_samples.count(), 0);
+  // Thread 0 ran 200 txns sampling every 10th.
+  EXPECT_EQ(result.lag_samples.count(), 20);
+}
+
+TEST(RunnerTest, ScanOpsExecuteAcrossClasses) {
+  DatabaseOptions opts;
+  opts.protocol = ProtocolKind::kVc2pl;
+  opts.preload_keys = 64;
+  Database db(opts);
+  WorkloadSpec spec;
+  spec.num_keys = 64;
+  spec.read_only_fraction = 0.5;
+  spec.scan_fraction = 0.5;
+  spec.scan_span = 8;
+  RunOptions run;
+  run.threads = 2;
+  run.txns_per_thread = 100;
+  RunResult result = RunWorkload(&db, spec, run);
+  EXPECT_GT(result.committed(), 0u);
+}
+
+TEST(ReportTest, TableAlignsAndPads) {
+  Table table({"protocol", "throughput"});
+  table.AddRow({"vc-2pl", Table::Num(uint64_t{12345})});
+  table.AddRow({"mvto"});  // short row padded
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("protocol"), std::string::npos);
+  EXPECT_NE(out.find("12345"), std::string::npos);
+  EXPECT_NE(out.find("vc-2pl"), std::string::npos);
+}
+
+TEST(ReportTest, CsvOutputQuotesSpecialCells) {
+  Table table({"name", "value"});
+  table.AddRow({"plain", "1"});
+  table.AddRow({"with,comma", "with\"quote"});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(),
+            "name,value\n"
+            "plain,1\n"
+            "\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(ReportTest, Formatters) {
+  EXPECT_EQ(Table::Num(uint64_t{7}), "7");
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Bool(true), "yes");
+  EXPECT_EQ(Table::Bool(false), "no");
+}
+
+}  // namespace
+}  // namespace mvcc
