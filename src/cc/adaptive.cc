@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/sim_hook.h"
+
 namespace mvcc {
 
 Adaptive::Adaptive(ProtocolEnv env, DeadlockPolicy policy,
@@ -17,7 +19,7 @@ Status Adaptive::Begin(TxnState* txn) {
     // the system: new transactions wait here until the in-flight ones
     // finish (they always do: 2PL resolves by wait-die/detection, OCC
     // never blocks), then the mode flips and admission resumes.
-    cv_.wait(lock, [this] {
+    SimAwareCvWait(cv_, lock, "adaptive.drain", [this] {
       return desired_ == mode_.load(std::memory_order_relaxed) ||
              active_ == 0;
     });

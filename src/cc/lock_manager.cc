@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <string>
 
+#include "common/sim_hook.h"
+
 namespace mvcc {
 
 LockManager::LockManager(DeadlockPolicy policy, EventCounters* counters,
@@ -29,6 +31,7 @@ std::vector<TxnId> LockManager::Conflicts(const KeyLock& lock, TxnId txn,
 
 Status LockManager::Acquire(TxnId txn, ObjectKey key, LockMode mode,
                             bool read_only) {
+  SimSchedulePoint("lock.acquire");
   Shard& shard = ShardFor(key);
   std::unique_lock<std::mutex> lock(shard.mu);
 
@@ -84,8 +87,16 @@ Status LockManager::Acquire(TxnId txn, ObjectKey key, LockMode mode,
       counter.fetch_add(1, std::memory_order_relaxed);
     }
     if (policy_ == DeadlockPolicy::kTimeout) {
-      const auto status = shard.cv.wait_for(
-          lock, std::chrono::milliseconds(timeout_ms_));
+      std::cv_status status;
+      if (InstalledSimHook() != nullptr) {
+        // Virtual time: one scheduler round-trip stands in for the whole
+        // wait budget, so a still-standing conflict is presumed deadlock.
+        SimAwareCvWait(shard.cv, lock, "lock.wait");
+        status = std::cv_status::timeout;
+      } else {
+        status = shard.cv.wait_for(lock,
+                                   std::chrono::milliseconds(timeout_ms_));
+      }
       if (status == std::cv_status::timeout) {
         // Presumed deadlock: re-check once, then give up.
         KeyLock& kl2 = shard.table[key];
@@ -99,13 +110,14 @@ Status LockManager::Acquire(TxnId txn, ObjectKey key, LockMode mode,
         }
       }
     } else {
-      shard.cv.wait(lock);
+      SimAwareCvWait(shard.cv, lock, "lock.wait");
     }
     if (policy_ == DeadlockPolicy::kDetect) detector_.ClearWaits(txn);
   }
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
+  SimSchedulePoint("lock.release_all");
   std::vector<ObjectKey> keys;
   {
     HeldShard& hs = HeldFor(txn);

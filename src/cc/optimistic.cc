@@ -113,6 +113,7 @@ Status Optimistic::Commit(TxnState* txn) {
 
   // Install outside the critical section.
   for (ObjectKey key : txn->write_order) {
+    MaybePauseInstall(env_);
     env_.store->GetOrCreate(key)->Install(
         Version{txn->tn, txn->write_set[key], txn->id});
   }

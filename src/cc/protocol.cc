@@ -1,10 +1,15 @@
 #include "cc/protocol.h"
 
 #include "common/clock.h"
+#include "common/sim_hook.h"
 
 namespace mvcc {
 
 void MaybePauseInstall(const ProtocolEnv& env) {
+  // Under simulation the interleaving point IS the pause: the scheduler
+  // may run other tasks inside the partially-installed commit window.
+  // Call sites sit outside any protocol lock, so yielding here is safe.
+  SimSchedulePoint("commit.install");
   if (env.install_pause_ns <= 0) return;
   const int64_t until = NowNanos() + env.install_pause_ns;
   while (NowNanos() < until) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "common/sim_hook.h"
+
 namespace mvcc {
 
 Status RangeLockTable::AcquireShared(TxnId txn, ObjectKey lo,
@@ -16,6 +18,7 @@ Status RangeLockTable::AcquireExclusivePoint(TxnId txn, ObjectKey key) {
 
 Status RangeLockTable::Acquire(TxnId txn, ObjectKey lo, ObjectKey hi,
                                LockMode mode) {
+  SimSchedulePoint("range.acquire");
   std::unique_lock<std::mutex> lock(mu_);
   bool counted_block = false;
   while (true) {
@@ -47,7 +50,7 @@ Status RangeLockTable::Acquire(TxnId txn, ObjectKey lo, ObjectKey hi,
       counted_block = true;
       counters_->rw_blocks.fetch_add(1, std::memory_order_relaxed);
     }
-    cv_.wait(lock);
+    SimAwareCvWait(cv_, lock, "range.wait");
   }
 }
 

@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "common/sim_hook.h"
+
 namespace mvcc {
 
 TimestampOrdering::TimestampOrdering(ProtocolEnv env, size_t num_shards)
@@ -12,6 +14,7 @@ TimestampOrdering::TimestampOrdering(ProtocolEnv env, size_t num_shards)
 
 Status TimestampOrdering::Begin(TxnState* txn) {
   // Serial order is determined a priori: register immediately (Figure 3).
+  SimSchedulePoint("to.begin");
   txn->tn = env_.vc->Register(txn->id);
   txn->registered = true;
   txn->sn = txn->tn;
@@ -29,6 +32,7 @@ Result<VersionRead> TimestampOrdering::Read(TxnState* txn, ObjectKey key) {
   }
   chain = env_.store->GetOrCreate(key);
 
+  SimSchedulePoint("to.read");
   Shard& shard = ShardFor(key);
   std::unique_lock<std::mutex> lock(shard.mu);
   KeyState& st = shard.table[key];
@@ -59,7 +63,7 @@ Result<VersionRead> TimestampOrdering::Read(TxnState* txn, ObjectKey key) {
       counted_block = true;
       env_.counters->rw_blocks.fetch_add(1, std::memory_order_relaxed);
     }
-    shard.cv.wait(lock);
+    SimAwareCvWait(shard.cv, lock, "to.read_wait");
   }
 }
 
@@ -70,6 +74,7 @@ Status TimestampOrdering::Write(TxnState* txn, ObjectKey key, Value value) {
   const bool creating = env_.store->Find(key) == nullptr;
   if (creating) env_.store->GetOrCreate(key);
 
+  SimSchedulePoint("to.write");
   Shard& shard = ShardFor(key);
   std::unique_lock<std::mutex> lock(shard.mu);
   KeyState& st = shard.table[key];
@@ -90,7 +95,7 @@ Status TimestampOrdering::Write(TxnState* txn, ObjectKey key, Value value) {
       counted_block = true;
       env_.counters->rw_blocks.fetch_add(1, std::memory_order_relaxed);
     }
-    shard.cv.wait(lock);
+    SimAwareCvWait(shard.cv, lock, "to.write_wait");
   }
 
   // Granted: the write stays pending until commit.

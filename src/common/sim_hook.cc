@@ -1,0 +1,17 @@
+#include "common/sim_hook.h"
+
+namespace mvcc {
+
+namespace {
+std::atomic<SimHook*> g_sim_hook{nullptr};
+}  // namespace
+
+void InstallSimHook(SimHook* hook) {
+  g_sim_hook.store(hook, std::memory_order_release);
+}
+
+SimHook* InstalledSimHook() {
+  return g_sim_hook.load(std::memory_order_acquire);
+}
+
+}  // namespace mvcc

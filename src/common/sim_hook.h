@@ -1,0 +1,119 @@
+#ifndef MVCC_COMMON_SIM_HOOK_H_
+#define MVCC_COMMON_SIM_HOOK_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace mvcc {
+
+// Interception interface for deterministic schedule exploration
+// (src/sim/). Production runs never install a hook, so every call site
+// below reduces to one relaxed atomic load and a branch.
+//
+// The synchronization layers (version control, lock manager, timestamp
+// tables, the distributed network, the write-ahead log) call into the
+// installed hook at the points where thread interleaving matters:
+//
+//   SchedulePoint  - a named point where the simulated scheduler may
+//                    switch to another task. Called OUTSIDE critical
+//                    sections only: the running task must never be
+//                    suspended while holding a mutex another task locks.
+//   BlockedPoint   - the calling task cannot make progress until some
+//                    other task acts (a would-be condition-variable
+//                    sleep). Under simulation the task yields and will
+//                    re-check its predicate when scheduled again.
+//   Observe        - a synchronization event worth auditing (vtnc
+//                    advance, queue drain). Never yields; safe to call
+//                    under a lock. `source` disambiguates instances
+//                    (e.g. per-site version control modules).
+//
+// Fault injection queries:
+//
+//   ShouldDropMessage / MessageDelaySteps - consulted by the simulated
+//                    network per message.
+//   OnWalAppend    - consulted by the write-ahead log before appending a
+//                    commit record; returning true simulates a crash at
+//                    that record boundary (the record and everything
+//                    after it never reach the "disk").
+class SimHook {
+ public:
+  virtual ~SimHook() = default;
+
+  virtual void SchedulePoint(const char* where) = 0;
+  virtual void BlockedPoint(const char* where) = 0;
+  virtual void Observe(const void* source, const char* what, uint64_t a,
+                       uint64_t b) {
+    (void)source;
+    (void)what;
+    (void)a;
+    (void)b;
+  }
+  virtual bool ShouldDropMessage(int from_site, int to_site) {
+    (void)from_site;
+    (void)to_site;
+    return false;
+  }
+  virtual uint32_t MessageDelaySteps(int from_site, int to_site) {
+    (void)from_site;
+    (void)to_site;
+    return 0;
+  }
+  virtual bool OnWalAppend(uint64_t tn) {
+    (void)tn;
+    return false;
+  }
+};
+
+// Global hook registration. At most one simulation runs per process at a
+// time (the scheduler installs itself for the duration of a run).
+void InstallSimHook(SimHook* hook);
+SimHook* InstalledSimHook();
+
+// ---- call-site helpers ----
+
+inline void SimSchedulePoint(const char* where) {
+  if (SimHook* hook = InstalledSimHook()) hook->SchedulePoint(where);
+}
+
+// For task bodies that poll cross-task state: yields as "blocked" so the
+// scheduler's progress accounting sees the wait.
+inline void SimBlockedPoint(const char* where) {
+  if (SimHook* hook = InstalledSimHook()) hook->BlockedPoint(where);
+}
+
+inline void SimObserve(const void* source, const char* what, uint64_t a,
+                       uint64_t b = 0) {
+  if (SimHook* hook = InstalledSimHook()) hook->Observe(source, what, a, b);
+}
+
+// Drop-in replacement for one cv.wait(lock) iteration inside a
+// re-check loop. Under simulation the task leaves the critical section
+// and yields to the scheduler instead of sleeping on the condition
+// variable — kernel wakeup order would be nondeterministic, so all
+// blocking is turned into scheduler-controlled polling. Returns with
+// `lock` re-held.
+inline void SimAwareCvWait(std::condition_variable& cv,
+                           std::unique_lock<std::mutex>& lock,
+                           const char* where) {
+  if (SimHook* hook = InstalledSimHook()) {
+    lock.unlock();
+    hook->BlockedPoint(where);
+    lock.lock();
+    return;
+  }
+  cv.wait(lock);
+}
+
+// Predicate form of the above (replaces cv.wait(lock, pred)).
+template <typename Pred>
+void SimAwareCvWait(std::condition_variable& cv,
+                    std::unique_lock<std::mutex>& lock, const char* where,
+                    Pred pred) {
+  while (!pred()) SimAwareCvWait(cv, lock, where);
+}
+
+}  // namespace mvcc
+
+#endif  // MVCC_COMMON_SIM_HOOK_H_

@@ -15,15 +15,20 @@ Status TwoPhaseCommitCoordinator::CommitTransaction(
   TxnNumber agreed = 0;
   for (size_t i = 0; i < participants.size(); ++i) {
     Site* site = participants[i];
-    network_->Send(MessageType::kPrepare, coordinator_site_, site->id());
-    Result<TxnNumber> proposed = site->Prepare(txn, tiebreak);
+    Result<TxnNumber> proposed =
+        network_->Send(MessageType::kPrepare, coordinator_site_,
+                       site->id())
+            ? site->Prepare(txn, tiebreak)
+            : Result<TxnNumber>(Status::Unavailable(
+                  "PREPARE message to site " +
+                  std::to_string(site->id()) + " lost"));
     if (!proposed.ok()) {
-      // A participant voted no (e.g. it is down): roll back everywhere.
-      // Already-prepared sites discard their registration; the failed and
-      // unprepared sites only drop buffered state and locks.
+      // A participant voted no (it is down, or its PREPARE was lost —
+      // presumed abort): roll back everywhere. Already-prepared sites
+      // discard their registration; the failed and unprepared sites only
+      // drop buffered state and locks.
       for (size_t j = 0; j < participants.size(); ++j) {
-        network_->Send(MessageType::kAbort, coordinator_site_,
-                       participants[j]->id());
+        SendReliably(MessageType::kAbort, participants[j]->id());
         participants[j]->Abort(
             txn, j < i ? proposals[j] : kInvalidTxnNumber);
       }
@@ -37,18 +42,27 @@ Status TwoPhaseCommitCoordinator::CommitTransaction(
 
   // Phase 2: commit at the agreed (maximum) number everywhere.
   for (size_t i = 0; i < participants.size(); ++i) {
-    network_->Send(MessageType::kCommit, coordinator_site_,
-                   participants[i]->id());
+    SendReliably(MessageType::kCommit, participants[i]->id());
     participants[i]->Commit(txn, proposals[i], agreed);
   }
   *global_tn = agreed;
   return Status::OK();
 }
 
+void TwoPhaseCommitCoordinator::SendReliably(MessageType type,
+                                             int to_site) {
+  // Phase-2 outcomes are decided: a lost COMMIT or ABORT is retransmitted
+  // until it lands (the participant holds locks and cannot be left in
+  // doubt). Each retransmission re-enters the network, so under
+  // simulation other tasks interleave with the retry window.
+  while (!network_->Send(type, coordinator_site_, to_site)) {
+  }
+}
+
 void TwoPhaseCommitCoordinator::AbortTransaction(
     TxnId txn, const std::vector<Site*>& participants) {
   for (Site* site : participants) {
-    network_->Send(MessageType::kAbort, coordinator_site_, site->id());
+    SendReliably(MessageType::kAbort, site->id());
     site->Abort(txn, kInvalidTxnNumber);
   }
 }

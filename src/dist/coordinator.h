@@ -35,6 +35,9 @@ class TwoPhaseCommitCoordinator {
   void AbortTransaction(TxnId txn, const std::vector<Site*>& participants);
 
  private:
+  // Retransmits a decided phase-2 message (COMMIT/ABORT) until delivered.
+  void SendReliably(MessageType type, int to_site);
+
   SimulatedNetwork* network_;
   int coordinator_site_;
 };

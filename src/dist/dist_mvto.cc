@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "common/sim_hook.h"
+
 namespace mvcc {
 
 DistMvtoDb::DistMvtoDb(Options options) : options_(std::move(options)) {
@@ -108,7 +110,7 @@ Result<Value> DistMvtoTxn::Read(ObjectKey key) {
                           : db_->counters_.rw_blocks;
       counter.fetch_add(1, std::memory_order_relaxed);
     }
-    site.cv.wait(lock);
+    SimAwareCvWait(site.cv, lock, "dist_mvto.read_wait");
   }
 }
 

@@ -57,14 +57,21 @@ Result<Value> DistTransaction::Read(ObjectKey key) {
   Site& site = db_->site(target);
 
   if (cls_ == TxnClass::kReadOnly) {
-    db_->network_.Send(MessageType::kSnapshotRead, home_site_, target);
+    if (!db_->network_.Send(MessageType::kSnapshotRead, home_site_,
+                            target)) {
+      return Status::Unavailable("snapshot read message to site " +
+                                 std::to_string(target) + " lost");
+    }
     Result<VersionRead> read = site.SnapshotRead(sn_, key);
     if (!read.ok()) return read.status();
     reads_.push_back(ReadEntry{key, read->version, read->writer});
     return std::move(read->value);
   }
 
-  db_->network_.Send(MessageType::kRemoteRead, home_site_, target);
+  if (!db_->network_.Send(MessageType::kRemoteRead, home_site_, target)) {
+    return Status::Unavailable("read message to site " +
+                               std::to_string(target) + " lost");
+  }
   Result<VersionRead> read = site.Read(id_, key);
   if (!read.ok()) {
     if (read.status().IsAborted()) Abort();
@@ -91,7 +98,10 @@ Result<std::vector<std::pair<ObjectKey, Value>>> DistTransaction::Scan(
   }
   std::vector<std::pair<ObjectKey, Value>> merged;
   for (int s = 0; s < db_->num_sites(); ++s) {
-    db_->network_.Send(MessageType::kSnapshotRead, home_site_, s);
+    if (!db_->network_.Send(MessageType::kSnapshotRead, home_site_, s)) {
+      return Status::Unavailable("snapshot scan message to site " +
+                                 std::to_string(s) + " lost");
+    }
     auto rows = db_->site(s).SnapshotScan(sn_, lo, hi);
     if (!rows.ok()) return rows.status();
     for (auto& [key, read] : *rows) {
@@ -114,7 +124,10 @@ Status DistTransaction::Write(ObjectKey key, Value value) {
   }
   const int target = db_->SiteOf(key);
   Site& site = db_->site(target);
-  db_->network_.Send(MessageType::kRemoteWrite, home_site_, target);
+  if (!db_->network_.Send(MessageType::kRemoteWrite, home_site_, target)) {
+    return Status::Unavailable("write message to site " +
+                               std::to_string(target) + " lost");
+  }
   Status s = site.Write(id_, key, std::move(value));
   if (!s.ok()) {
     if (s.IsAborted()) Abort();

@@ -1,12 +1,27 @@
 #include "dist/network.h"
 
 #include "common/clock.h"
+#include "common/sim_hook.h"
 
 namespace mvcc {
 
-void SimulatedNetwork::Send(MessageType type, int from_site, int to_site) {
-  if (from_site == to_site) return;
+bool SimulatedNetwork::Send(MessageType type, int from_site, int to_site) {
+  if (from_site == to_site) return true;
   counts_[static_cast<size_t>(type)].fetch_add(1, std::memory_order_relaxed);
+  if (SimHook* hook = InstalledSimHook()) {
+    // Every message is an interleaving opportunity; an injected delay is
+    // extra scheduler steps (virtual propagation time), and a drop makes
+    // this send fail outright — the caller handles the loss.
+    hook->SchedulePoint("net.send");
+    for (uint32_t d = hook->MessageDelaySteps(from_site, to_site); d > 0;
+         --d) {
+      hook->SchedulePoint("net.delay");
+    }
+    if (hook->ShouldDropMessage(from_site, to_site)) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
   if (delay_ns_ > 0) {
     const int64_t until = NowNanos() + delay_ns_;
     while (NowNanos() < until) {
@@ -14,6 +29,7 @@ void SimulatedNetwork::Send(MessageType type, int from_site, int to_site) {
       // latency without descheduling storms in the benchmark.
     }
   }
+  return true;
 }
 
 uint64_t SimulatedNetwork::Total() const {

@@ -27,25 +27,36 @@ enum class MessageType {
 // for `delay_ns` to model propagation latency and bumps a per-type
 // counter. This preserves the property under study — who must exchange
 // how many messages — without a real transport.
+//
+// Under deterministic simulation (an installed SimHook), every send is a
+// schedule point, may be delayed by extra scheduler steps, and may be
+// DROPPED: Send() then returns false and the caller must treat the
+// destination as unreachable for that message. Production runs always
+// deliver (return true).
 class SimulatedNetwork {
  public:
   explicit SimulatedNetwork(int64_t delay_ns = 0) : delay_ns_(delay_ns) {}
 
   // Accounts (and delays) one message of the given type between two
   // distinct sites. Local calls (from == to) are free and uncounted.
-  void Send(MessageType type, int from_site, int to_site);
+  // Returns false if fault injection dropped the message.
+  bool Send(MessageType type, int from_site, int to_site);
 
   uint64_t Count(MessageType type) const {
     return counts_[static_cast<size_t>(type)].load(
         std::memory_order_relaxed);
   }
   uint64_t Total() const;
+  uint64_t Dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
   void Reset();
 
  private:
   int64_t delay_ns_;
   std::array<std::atomic<uint64_t>, static_cast<size_t>(MessageType::kCount)>
       counts_{};
+  std::atomic<uint64_t> dropped_{0};
 };
 
 }  // namespace mvcc

@@ -5,6 +5,8 @@
 #include <memory>
 #include <utility>
 
+#include "common/sim_hook.h"
+
 namespace mvcc {
 
 namespace {
@@ -42,6 +44,16 @@ bool GetString(const std::string& in, size_t* pos, std::string* s) {
 }  // namespace
 
 void WriteAheadLog::Append(CommitBatch batch) {
+  // Simulated crash at a record boundary: once fault injection decides
+  // the "disk" is gone, this and every later record is lost — the log
+  // image recovery sees is an exact prefix of the append sequence.
+  if (SimHook* hook = InstalledSimHook()) {
+    if (crashed_.load(std::memory_order_relaxed) ||
+        hook->OnWalAppend(batch.tn)) {
+      crashed_.store(true, std::memory_order_relaxed);
+      return;
+    }
+  }
   std::lock_guard<std::mutex> guard(mu_);
   max_tn_ = std::max(max_tn_, batch.tn);
   batches_.push_back(std::move(batch));

@@ -1,6 +1,7 @@
 #ifndef MVCC_RECOVERY_WAL_H_
 #define MVCC_RECOVERY_WAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -48,10 +49,18 @@ class WriteAheadLog {
   static Result<std::unique_ptr<WriteAheadLog>> Deserialize(
       const std::string& image);
 
+  // True once fault injection (SimHook::OnWalAppend) crashed the log:
+  // every record from the crash point on was dropped. The surviving
+  // batches are the durable prefix a recovery would see.
+  bool SimulatedCrashTriggered() const {
+    return crashed_.load(std::memory_order_relaxed);
+  }
+
  private:
   mutable std::mutex mu_;
   std::vector<CommitBatch> batches_;
   TxnNumber max_tn_ = 0;
+  std::atomic<bool> crashed_{false};
 };
 
 }  // namespace mvcc

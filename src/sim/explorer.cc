@@ -1,0 +1,423 @@
+#include "sim/explorer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dist/distributed_db.h"
+#include "history/serializability.h"
+#include "recovery/recovery.h"
+
+namespace mvcc {
+namespace sim {
+
+namespace {
+
+bool IsVcProtocol(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kVc2pl:
+    case ProtocolKind::kVcTo:
+    case ProtocolKind::kVcOcc:
+    case ProtocolKind::kVcAdaptive:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string ValueFor(int task, int txn, int op) {
+  std::ostringstream out;
+  out << "w" << task << ".t" << txn << ".o" << op;
+  return out.str();
+}
+
+// Largest committed read-write transaction number in the history.
+TxnNumber MaxCommittedTn(const std::vector<TxnRecord>& records) {
+  TxnNumber max_tn = 0;
+  for (const TxnRecord& r : records) {
+    if (r.cls == TxnClass::kReadWrite) max_tn = std::max(max_tn, r.number);
+  }
+  return max_tn;
+}
+
+void CheckHistoryOracle(const History& history, SimScheduler* sched) {
+  const SerializabilityVerdict verdict = CheckOneCopySerializable(history);
+  if (!verdict.one_copy_serializable) {
+    std::ostringstream out;
+    out << "MVSG cycle among committed transactions:";
+    for (TxnId id : verdict.cycle) out << " T" << id;
+    sched->AddViolation(out.str());
+  }
+  for (const std::string& v : CheckLemmas(history.Records())) {
+    sched->AddViolation("lemma: " + v);
+  }
+}
+
+// After every task has quiesced (including forced teardown — aborts run
+// through the normal Discard path), version control must have drained:
+// no registered transaction is left and visibility has caught up with
+// every committed transaction.
+void CheckVcQuiesced(VersionControl& vc, TxnNumber max_committed_tn,
+                     const char* label, SimScheduler* sched) {
+  if (vc.QueueSize() != 0) {
+    std::ostringstream out;
+    out << label << ": VCQueue not drained at quiesce (size "
+        << vc.QueueSize() << ", vtnc " << vc.vtnc() << ")";
+    sched->AddViolation(out.str());
+  }
+  if (vc.vtnc() < max_committed_tn) {
+    std::ostringstream out;
+    out << label << ": vtnc stalled at " << vc.vtnc()
+        << " below committed tn " << max_committed_tn;
+    sched->AddViolation(out.str());
+  }
+  if (vc.vtnc() >= vc.NextNumber()) {
+    std::ostringstream out;
+    out << label << ": vtnc " << vc.vtnc() << " >= tnc "
+        << vc.NextNumber();
+    sched->AddViolation(out.str());
+  }
+}
+
+// The WAL crashed mid-run: the surviving log is an exact prefix of the
+// append sequence. Recovery from that prefix must reproduce exactly the
+// replay of those batches — and the recovered database must be
+// serviceable for new transactions.
+void CheckCrashRecovery(const ExploreOptions& options,
+                        const DatabaseOptions& dopt, WriteAheadLog* wal,
+                        SimScheduler* sched) {
+  std::unique_ptr<Database> recovered =
+      RecoverDatabase(dopt, /*checkpoint=*/nullptr, *wal);
+
+  // Expected post-recovery image: per key, the write of the largest
+  // durable tn (versions install in tn order), else the preload value.
+  std::map<ObjectKey, std::pair<TxnNumber, Value>> expected;
+  for (const CommitBatch& batch : wal->Batches()) {
+    for (const LoggedWrite& w : batch.writes) {
+      auto& slot = expected[w.key];
+      if (batch.tn >= slot.first) slot = {batch.tn, w.value};
+    }
+  }
+  for (ObjectKey key = 0; key < options.keys; ++key) {
+    auto it = expected.find(key);
+    const Value want =
+        it == expected.end() ? dopt.initial_value : it->second.second;
+    Result<Value> got = recovered->Get(key);
+    if (!got.ok() || *got != want) {
+      std::ostringstream out;
+      out << "crash recovery: key " << key << " expected '" << want
+          << "' got "
+          << (got.ok() ? "'" + *got + "'" : got.status().ToString());
+      sched->AddViolation(out.str());
+    }
+  }
+  const TxnNumber durable = wal->MaxTn();
+  if (recovered->version_control().vtnc() < durable) {
+    std::ostringstream out;
+    out << "crash recovery: vtnc " << recovered->version_control().vtnc()
+        << " below last durable tn " << durable;
+    sched->AddViolation(out.str());
+  }
+  CheckVcQuiesced(recovered->version_control(), durable, "recovered",
+                  sched);
+  // Serviceability: the recovered database accepts new transactions.
+  if (!recovered->Put(0, "post-recovery").ok()) {
+    sched->AddViolation("crash recovery: post-recovery write failed");
+  } else {
+    Result<Value> reread = recovered->Get(0);
+    if (!reread.ok() || *reread != "post-recovery") {
+      sched->AddViolation("crash recovery: post-recovery write invisible");
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t DeriveTaskSeed(uint64_t seed, uint64_t salt) {
+  uint64_t z = seed ^ (salt * 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+SimReport ExploreOnce(const ExploreOptions& options) {
+  DatabaseOptions dopt;
+  dopt.protocol = options.protocol;
+  dopt.preload_keys = options.keys;
+  dopt.record_history = true;
+  dopt.deadlock_policy = options.deadlock_policy;
+  dopt.enable_wal = options.faults.crash_at_wal_append >= 0;
+  Database db(dopt);
+  if (options.literal_figure1_discard) {
+    db.version_control().SetLiteralFigure1DiscardForTest(true);
+  }
+
+  SimScheduler::Options sopt;
+  sopt.seed = options.seed;
+  sopt.max_steps = options.max_steps;
+  sopt.faults = options.faults;
+  SimScheduler sched(sopt);
+
+  std::atomic<uint64_t> commits{0};
+  std::atomic<uint64_t> aborts{0};
+  std::atomic<TxnNumber> first_commit_tn{0};
+  std::atomic<int> writers_done{0};
+
+  for (int w = 0; w < options.writer_tasks; ++w) {
+    sched.Spawn(
+        "writer" + std::to_string(w), /*expect_wait_free=*/false,
+        [&, w] {
+          Random rng(DeriveTaskSeed(options.seed, 0x100 + w));
+          for (int t = 0; t < options.txns_per_task; ++t) {
+            if (sched.Killed()) break;
+            auto txn = db.Begin(TxnClass::kReadWrite);
+            bool doomed = false;
+            for (int op = 0; op < options.ops_per_txn; ++op) {
+              SimSchedulePoint("task.op");
+              const ObjectKey key = rng.Uniform(options.keys);
+              if (rng.Bernoulli(options.write_fraction)) {
+                if (!txn->Write(key, ValueFor(w, t, op)).ok()) {
+                  doomed = true;
+                  break;
+                }
+              } else if (!txn->Read(key).ok()) {
+                doomed = true;
+                break;
+              }
+            }
+            if (doomed || !txn->active()) {
+              aborts.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            if (rng.Bernoulli(options.user_abort_probability)) {
+              txn->Abort();
+              aborts.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            if (txn->Commit().ok()) {
+              commits.fetch_add(1, std::memory_order_relaxed);
+              TxnNumber expected = 0;
+              first_commit_tn.compare_exchange_strong(expected,
+                                                      txn->txn_number());
+            } else {
+              aborts.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+          writers_done.fetch_add(1, std::memory_order_release);
+        });
+  }
+
+  // Figure 2 read-only transactions: under the VC protocols these must
+  // be wait-free — a single BlockedPoint is an invariant violation.
+  const bool wait_free_readers = IsVcProtocol(options.protocol);
+  for (int r = 0; r < options.reader_tasks; ++r) {
+    sched.Spawn(
+        "reader" + std::to_string(r), wait_free_readers, [&, r] {
+          Random rng(DeriveTaskSeed(options.seed, 0x200 + r));
+          for (int t = 0; t < options.txns_per_task; ++t) {
+            if (sched.Killed()) break;
+            auto txn = db.Begin(TxnClass::kReadOnly);
+            for (int op = 0; op < options.ops_per_txn; ++op) {
+              SimSchedulePoint("task.op");
+              if (rng.Bernoulli(options.scan_fraction)) {
+                const ObjectKey lo = rng.Uniform(options.keys);
+                const ObjectKey hi =
+                    std::min<ObjectKey>(lo + 3, options.keys - 1);
+                if (!txn->Scan(lo, hi).ok()) {
+                  sched.AddViolation("read-only snapshot scan failed");
+                }
+              } else if (!txn->Read(rng.Uniform(options.keys)).ok()) {
+                sched.AddViolation("read-only snapshot read failed");
+              }
+            }
+            txn->Commit();
+          }
+        });
+  }
+
+  if (options.currency_reader) {
+    sched.Spawn("currency", /*expect_wait_free=*/false, [&] {
+      // Wait (blocking is expected here) for the first commit, then
+      // demand a snapshot at least that current (Section 6).
+      while (first_commit_tn.load(std::memory_order_acquire) == 0 &&
+             writers_done.load(std::memory_order_acquire) <
+                 options.writer_tasks) {
+        SimBlockedPoint("task.currency_poll");
+      }
+      const TxnNumber target =
+          first_commit_tn.load(std::memory_order_acquire);
+      if (target == 0) return;  // nothing ever committed
+      auto txn = db.BeginReadOnlyAtLeast(target);
+      if (txn->start_number() < target) {
+        std::ostringstream out;
+        out << "currency: BeginReadOnlyAtLeast(" << target
+            << ") returned snapshot " << txn->start_number();
+        sched.AddViolation(out.str());
+      }
+      txn->Read(0);
+      txn->Commit();
+    });
+  }
+
+  sched.Run();
+
+  SimReport& report = sched.report();
+  report.commits = commits.load();
+  report.aborts = aborts.load();
+
+  const std::vector<TxnRecord> records = db.history()->Records();
+  CheckHistoryOracle(*db.history(), &sched);
+  CheckVcQuiesced(db.version_control(), MaxCommittedTn(records), "vc",
+                  &sched);
+  if (report.wal_crashed) {
+    CheckCrashRecovery(options, dopt, db.wal(), &sched);
+  }
+  return report;
+}
+
+SimReport ExploreDistributedOnce(const DistExploreOptions& options) {
+  DistributedDb::Options dbopt;
+  dbopt.num_sites = options.sites;
+  dbopt.preload_keys = options.keys;
+  dbopt.record_history = true;
+  DistributedDb db(dbopt);
+
+  SimScheduler::Options sopt;
+  sopt.seed = options.seed;
+  sopt.max_steps = options.max_steps;
+  sopt.faults = options.faults;
+  SimScheduler sched(sopt);
+
+  std::atomic<uint64_t> commits{0};
+  std::atomic<uint64_t> aborts{0};
+
+  for (int w = 0; w < options.writer_tasks; ++w) {
+    sched.Spawn(
+        "dwriter" + std::to_string(w), /*expect_wait_free=*/false,
+        [&, w] {
+          Random rng(DeriveTaskSeed(options.seed, 0x300 + w));
+          for (int t = 0; t < options.txns_per_task; ++t) {
+            if (sched.Killed()) break;
+            const int home = static_cast<int>(rng.Uniform(options.sites));
+            auto txn = db.Begin(TxnClass::kReadWrite, home);
+            bool doomed = false;
+            for (int op = 0; op < options.ops_per_txn; ++op) {
+              SimSchedulePoint("task.op");
+              const ObjectKey key = rng.Uniform(options.keys);
+              if (rng.Bernoulli(options.write_fraction)) {
+                if (!txn->Write(key, ValueFor(w, t, op)).ok()) {
+                  doomed = true;
+                  break;
+                }
+              } else if (!txn->Read(key).ok()) {
+                doomed = true;
+                break;
+              }
+            }
+            if (doomed || !txn->active()) {
+              if (txn->active()) txn->Abort();
+              aborts.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            if (txn->Commit().ok()) {
+              commits.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              aborts.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        });
+  }
+
+  // Distributed read-only transactions may wait briefly at a site for
+  // registered-but-committing writers (WaitNoActiveAtOrBelow), so they
+  // are not flagged wait-free; they still never deadlock or abort.
+  for (int r = 0; r < options.reader_tasks; ++r) {
+    sched.Spawn(
+        "dreader" + std::to_string(r), /*expect_wait_free=*/false,
+        [&, r] {
+          Random rng(DeriveTaskSeed(options.seed, 0x400 + r));
+          for (int t = 0; t < options.txns_per_task; ++t) {
+            if (sched.Killed()) break;
+            const int home = static_cast<int>(rng.Uniform(options.sites));
+            auto txn = db.Begin(TxnClass::kReadOnly, home);
+            bool lost = false;
+            for (int op = 0; op < options.ops_per_txn && !lost; ++op) {
+              SimSchedulePoint("task.op");
+              if (rng.Bernoulli(options.scan_fraction)) {
+                const ObjectKey lo = rng.Uniform(options.keys);
+                const ObjectKey hi =
+                    std::min<ObjectKey>(lo + 3, options.keys - 1);
+                lost = !txn->Scan(lo, hi).ok();
+              } else {
+                lost = !txn->Read(rng.Uniform(options.keys)).ok();
+              }
+            }
+            // A lost message surfaces as Unavailable; the read-only
+            // transaction simply gives up (it holds no locks anywhere).
+            if (lost) {
+              txn->Abort();
+            } else {
+              txn->Commit();
+            }
+          }
+        });
+  }
+
+  sched.Run();
+
+  SimReport& report = sched.report();
+  report.commits = commits.load();
+  report.aborts = aborts.load();
+
+  const std::vector<TxnRecord> records = db.history()->Records();
+  CheckHistoryOracle(*db.history(), &sched);
+
+  // Per-site quiesce: queues drained, and each site that participated in
+  // a committed transaction has made it visible (its promoted number
+  // completed there, so the site vtnc must have reached it).
+  for (int s = 0; s < db.num_sites(); ++s) {
+    TxnNumber max_tn_here = 0;
+    for (const TxnRecord& rec : records) {
+      if (rec.cls != TxnClass::kReadWrite) continue;
+      bool touches = false;
+      for (const RecordedWrite& wr : rec.writes) {
+        if (db.SiteOf(wr.key) == s) touches = true;
+      }
+      for (const RecordedRead& rd : rec.reads) {
+        if (db.SiteOf(rd.key) == s) touches = true;
+      }
+      if (touches) max_tn_here = std::max(max_tn_here, rec.number);
+    }
+    const std::string label = "site" + std::to_string(s);
+    CheckVcQuiesced(db.site(s).version_control(), max_tn_here,
+                    label.c_str(), &sched);
+  }
+
+  // 2PC atomicity: every committed transaction's writes are visible at
+  // their owning sites at snapshot tn — a site that missed phase 2 would
+  // still expose the predecessor version.
+  for (const TxnRecord& rec : records) {
+    if (rec.cls != TxnClass::kReadWrite) continue;
+    for (const RecordedWrite& wr : rec.writes) {
+      Site& site = db.site(db.SiteOf(wr.key));
+      Result<VersionRead> got = site.SnapshotRead(rec.number, wr.key);
+      if (!got.ok() || got->version != rec.number) {
+        std::ostringstream out;
+        out << "2PC atomicity: T" << rec.id << " committed tn "
+            << rec.number << " but key " << wr.key << " at site "
+            << db.SiteOf(wr.key) << " shows "
+            << (got.ok() ? std::to_string(got->version)
+                         : got.status().ToString());
+        sched.AddViolation(out.str());
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace sim
+}  // namespace mvcc

@@ -1,0 +1,85 @@
+#ifndef MVCC_SIM_EXPLORER_H_
+#define MVCC_SIM_EXPLORER_H_
+
+#include <cstdint>
+
+#include "cc/lock_manager.h"
+#include "sim/sim_scheduler.h"
+#include "txn/database.h"
+
+namespace mvcc {
+namespace sim {
+
+// One simulated execution over a single-node Database: N read-write
+// tasks and M read-only tasks run a seeded random workload under the
+// deterministic scheduler, and the resulting history is checked against
+// the full oracle stack — MVSG one-copy serializability (Theorem 1),
+// the Section 5.1 lemmas, the vtnc invariants (monotone, < tnc, reaches
+// every committed tn at quiesce, queue drained), read-only wait-freedom
+// (Figure 2), and — when the fault plan crashes the WAL — recovery-
+// from-prefix consistency.
+struct ExploreOptions {
+  ProtocolKind protocol = ProtocolKind::kVc2pl;
+  uint64_t seed = 1;
+
+  int writer_tasks = 3;
+  int reader_tasks = 2;
+  int txns_per_task = 5;
+  int ops_per_txn = 4;
+  uint64_t keys = 8;
+  double write_fraction = 0.7;
+  // Chance a read-only transaction issues a snapshot scan instead of a
+  // point read.
+  double scan_fraction = 0.2;
+  // Chance a writer voluntarily aborts after finishing its operations
+  // (exercises Discard with a populated VCQueue).
+  double user_abort_probability = 0.1;
+
+  // Adds one task using BeginReadOnlyAtLeast on the first committed tn
+  // (the Section 6 currency fix; blocks by design, so not wait-free).
+  bool currency_reader = false;
+
+  // Injects the Figure-1-literal VCdiscard (no head drain) — a known
+  // liveness bug the oracle must catch. Used by the replay tests.
+  bool literal_figure1_discard = false;
+
+  DeadlockPolicy deadlock_policy = DeadlockPolicy::kWaitDie;
+  FaultPlan faults;
+  uint64_t max_steps = 2'000'000;
+};
+
+SimReport ExploreOnce(const ExploreOptions& options);
+
+// One simulated execution over the Section 6 distributed database:
+// cross-site read-write transactions (2PC + number agreement) and
+// read-only snapshot transactions, optionally under message drops and
+// delays. Checks global MVSG serializability over the merged history,
+// the lemmas, per-site vtnc invariants and queue drain, and 2PC
+// atomicity (every committed transaction's writes visible at all its
+// sites).
+struct DistExploreOptions {
+  uint64_t seed = 1;
+  int sites = 3;
+
+  int writer_tasks = 3;
+  int reader_tasks = 2;
+  int txns_per_task = 3;
+  int ops_per_txn = 3;
+  uint64_t keys = 9;
+  double write_fraction = 0.7;
+  double scan_fraction = 0.15;
+
+  FaultPlan faults;
+  uint64_t max_steps = 2'000'000;
+};
+
+SimReport ExploreDistributedOnce(const DistExploreOptions& options);
+
+// Deterministic per-task seed derivation (SplitMix64 over seed ^ salt),
+// so adding a task never perturbs the streams of existing tasks.
+uint64_t DeriveTaskSeed(uint64_t seed, uint64_t salt);
+
+}  // namespace sim
+}  // namespace mvcc
+
+#endif  // MVCC_SIM_EXPLORER_H_

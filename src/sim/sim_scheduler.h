@@ -1,0 +1,168 @@
+#ifndef MVCC_SIM_SIM_SCHEDULER_H_
+#define MVCC_SIM_SIM_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/sim_hook.h"
+
+namespace mvcc {
+namespace sim {
+
+// Fault-injection plan for one simulated execution. All decisions draw
+// from the scheduler's seeded PRNG, so a plan plus a seed reproduces the
+// exact same faults at the exact same schedule points.
+struct FaultPlan {
+  // Probability that a distributed message is dropped (the sender sees
+  // delivery failure; decided 2PC outcomes are retransmitted).
+  double message_drop_probability = 0.0;
+
+  // A delivered message is additionally delayed by Uniform(0, max]
+  // scheduler steps, letting other tasks run "during propagation".
+  uint32_t message_delay_max_steps = 0;
+
+  // Crash the write-ahead log at the Nth append (0-based): that record
+  // and all later ones are lost, tasks are torn down, and the caller
+  // verifies recovery from the surviving prefix. -1 = never.
+  int64_t crash_at_wal_append = -1;
+};
+
+// Outcome of one simulated execution, replayable from `seed`.
+struct SimReport {
+  uint64_t seed = 0;
+  uint64_t steps = 0;          // scheduler decisions taken
+  uint64_t schedule_hash = 0;  // FNV-1a over the full interleaving
+  bool deadlock = false;       // no task could make progress
+  bool wal_crashed = false;    // fault plan crashed the WAL
+  uint64_t commits = 0;        // filled by the explorer
+  uint64_t aborts = 0;
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  // One-line digest, including the seed needed to replay.
+  std::string Summary() const;
+};
+
+// A deterministic cooperative scheduler for concurrency testing
+// (the "schedule exploration" style of Faleiro & Abadi's MVCC analyses):
+// N logical tasks run over the real Database / VersionControl / CC stack,
+// but only ONE task executes at any instant. Control passes between
+// tasks exclusively at the SimHook points threaded through the
+// synchronization layers, and the next runnable task is chosen by a
+// seeded PRNG — so every interleaving, fault and failure is a pure
+// function of the 64-bit seed and can be replayed exactly.
+//
+// Would-be condition-variable sleeps become BlockedPoint yields: the
+// blocked task stays schedulable and re-checks its predicate each time
+// it is picked. If every remaining task keeps yielding blocked, no task
+// can make progress — a deadlock, reported with each task's last
+// position. Tasks flagged `expect_wait_free` (read-only transactions
+// under the VC protocols, Figure 2) must never block at all; a single
+// BlockedPoint from one is reported as a wait-freedom violation.
+class SimScheduler final : public SimHook {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    // Hard cap on scheduler decisions (runaway guard).
+    uint64_t max_steps = 2'000'000;
+    // Consecutive blocked yields (across all tasks) before the run is
+    // declared deadlocked. With t tasks, the chance a runnable task is
+    // never picked within this budget is (1-1/t)^limit ~ 0.
+    uint64_t blocked_streak_limit = 20'000;
+    FaultPlan faults;
+  };
+
+  explicit SimScheduler(const Options& options);
+  ~SimScheduler() override;
+  SimScheduler(const SimScheduler&) = delete;
+  SimScheduler& operator=(const SimScheduler&) = delete;
+
+  // Adds a task before Run(). `expect_wait_free` enforces the read-only
+  // wait-freedom invariant on this task.
+  void Spawn(std::string name, bool expect_wait_free,
+             std::function<void()> body);
+
+  // Installs itself as the global SimHook, runs every task to
+  // completion (or until deadlock / WAL crash / step cap), uninstalls,
+  // and joins. Call at most once.
+  void Run();
+
+  // True once the scheduler is tearing tasks down; long-running task
+  // bodies should return promptly when they see it.
+  bool Killed() const { return kill_all_.load(std::memory_order_acquire); }
+
+  // Records an invariant violation into the report (task bodies and the
+  // explorer's post-run checks both use this).
+  void AddViolation(std::string violation);
+
+  SimReport& report() { return report_; }
+
+  // ---- SimHook ----
+  void SchedulePoint(const char* where) override;
+  void BlockedPoint(const char* where) override;
+  void Observe(const void* source, const char* what, uint64_t a,
+               uint64_t b) override;
+  bool ShouldDropMessage(int from_site, int to_site) override;
+  uint32_t MessageDelaySteps(int from_site, int to_site) override;
+  bool OnWalAppend(uint64_t tn) override;
+
+ private:
+  struct Task {
+    std::string name;
+    bool expect_wait_free = false;
+    bool wait_free_violated = false;
+    std::function<void()> body;
+    std::thread thread;
+    int index = 0;
+    bool done = false;
+    bool killed = false;           // unwinding; points become no-ops
+    const char* last_where = "";   // last yield position (diagnostics)
+  };
+
+  static constexpr int kNoTask = -1;
+  // The task executing on this thread (null on non-simulated threads).
+  static thread_local Task* tls_task_;
+
+  void TaskMain(Task* task);
+  // Yields from the running task back to the scheduler. Throws the
+  // internal kill exception when teardown begins.
+  void YieldFromTask(const char* where, bool blocked);
+  void HashMix(uint64_t v);
+  void HashMixString(const char* s);
+  // Resumes `task` and sleeps until it yields back or finishes.
+  // Caller holds lock_.
+  void RunTaskOnce(std::unique_lock<std::mutex>& lock, Task* task);
+  void KillRemaining(std::unique_lock<std::mutex>& lock);
+
+  const Options options_;
+  Random rng_;        // schedule decisions
+  Random fault_rng_;  // fault-injection decisions
+  SimReport report_;
+
+  std::mutex lock_;
+  std::condition_variable cv_;
+  int current_ = kNoTask;  // index of the task allowed to run
+  bool last_yield_blocked_ = false;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::atomic<bool> kill_all_{false};
+  std::atomic<bool> wal_crash_pending_{false};
+  std::atomic<int64_t> wal_appends_{0};
+  bool ran_ = false;
+
+  // Last observed vtnc per version-control instance (monotonicity).
+  std::unordered_map<const void*, uint64_t> last_vtnc_;
+};
+
+}  // namespace sim
+}  // namespace mvcc
+
+#endif  // MVCC_SIM_SIM_SCHEDULER_H_

@@ -1,6 +1,7 @@
 #include "vc/vc_queue.h"
 
 #include "common/check.h"
+#include "common/sim_hook.h"
 
 namespace mvcc {
 
@@ -22,6 +23,10 @@ std::optional<TxnNumber> VcQueue::DrainCompletedHead() {
   while (!entries_.empty() && entries_.begin()->second.complete) {
     last_popped = entries_.begin()->first;
     entries_.erase(entries_.begin());
+    // Observation only (the caller holds the version-control mutex):
+    // lets the simulator audit that visibility advances over exactly the
+    // completed prefix, one entry at a time.
+    SimObserve(this, "vcq.pop", *last_popped, entries_.size());
   }
   return last_popped;
 }

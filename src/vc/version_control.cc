@@ -3,47 +3,64 @@
 #include <cassert>
 
 #include "common/check.h"
+#include "common/sim_hook.h"
 
 namespace mvcc {
 
 VersionControl::VersionControl(NumberingMode mode) : mode_(mode) {}
 
+void VersionControl::SetLiteralFigure1DiscardForTest(bool literal) {
+  std::lock_guard<std::mutex> guard(mu_);
+  literal_figure1_discard_ = literal;
+}
+
+// No schedule point here: OCC registers inside its validation critical
+// section (tn order must equal validation order), and a yield under a
+// plain mutex would hang the cooperative scheduler. Callers that hold no
+// locks (TO begin, the 2PC prepare path) place their own points.
 TxnNumber VersionControl::Register(TxnId txn, uint32_t tiebreak) {
   std::lock_guard<std::mutex> guard(mu_);
   const TxnNumber tn = MakeNumber(counter_++, tiebreak);
   queue_.Insert(tn, txn);
+  SimObserve(this, "vc.register", tn, MakeNumber(counter_, 0));
   return tn;
 }
 
 void VersionControl::Discard(TxnNumber tn) {
-  bool advanced = false;
+  SimSchedulePoint("vc.discard");
   {
     std::lock_guard<std::mutex> guard(mu_);
     queue_.Erase(tn);
     // Deviation from Figure 1 (see header): the erased entry may have been
-    // blocking a completed suffix at the head.
-    if (auto new_vtnc = queue_.DrainCompletedHead()) {
-      vtnc_.store(*new_vtnc, std::memory_order_release);
-      advanced = true;
+    // blocking a completed suffix at the head, which must advance vtnc —
+    // and signal waiters — exactly as Complete() does.
+    if (!literal_figure1_discard_) {
+      if (auto new_vtnc = queue_.DrainCompletedHead()) {
+        MVCC_CHECK(*new_vtnc >= vtnc_.load(std::memory_order_relaxed));
+        vtnc_.store(*new_vtnc, std::memory_order_release);
+        SimObserve(this, "vc.vtnc", *new_vtnc, MakeNumber(counter_, 0));
+      }
     }
   }
-  (void)advanced;
   cv_.notify_all();
 }
 
 void VersionControl::Complete(TxnNumber tn) {
+  SimSchedulePoint("vc.complete");
   {
     std::lock_guard<std::mutex> guard(mu_);
     queue_.MarkComplete(tn);
     if (auto new_vtnc = queue_.DrainCompletedHead()) {
       MVCC_CHECK(*new_vtnc >= vtnc_.load(std::memory_order_relaxed));
       vtnc_.store(*new_vtnc, std::memory_order_release);
+      SimObserve(this, "vc.vtnc", *new_vtnc, MakeNumber(counter_, 0));
     }
   }
   cv_.notify_all();
 }
 
 void VersionControl::Promote(TxnNumber from, TxnNumber to) {
+  SimSchedulePoint("vc.promote");
   if (from == to) {
     std::lock_guard<std::mutex> guard(mu_);
     if (CounterPart(to) >= counter_) counter_ = CounterPart(to) + 1;
@@ -55,9 +72,11 @@ void VersionControl::Promote(TxnNumber from, TxnNumber to) {
   queue_.Erase(from);
   queue_.Insert(to, /*txn=*/0);
   if (CounterPart(to) >= counter_) counter_ = CounterPart(to) + 1;
+  SimObserve(this, "vc.promote", to, MakeNumber(counter_, 0));
 }
 
 void VersionControl::AdvanceCounterPast(TxnNumber tn) {
+  SimSchedulePoint("vc.advance_counter");
   std::lock_guard<std::mutex> guard(mu_);
   const uint64_t needed = CounterPart(tn) + 1;
   if (counter_ < needed) counter_ = needed;
@@ -73,12 +92,13 @@ void VersionControl::RecoverTo(TxnNumber last_committed) {
 
 void VersionControl::WaitNoActiveAtOrBelow(TxnNumber sn) {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this, sn] { return !queue_.HasActiveAtOrBelow(sn); });
+  SimAwareCvWait(cv_, lock, "vc.wait_no_active",
+                 [this, sn] { return !queue_.HasActiveAtOrBelow(sn); });
 }
 
 TxnNumber VersionControl::StartAtLeast(TxnNumber tn) {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this, tn] {
+  SimAwareCvWait(cv_, lock, "vc.start_at_least", [this, tn] {
     return vtnc_.load(std::memory_order_acquire) >= tn;
   });
   return vtnc_.load(std::memory_order_acquire);

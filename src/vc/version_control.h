@@ -114,6 +114,15 @@ class VersionControl {
   size_t QueueSize() const;
   NumberingMode mode() const { return mode_; }
 
+  // ---- Testing ----
+
+  // Reverts Discard to Figure 1's literal pseudocode: remove the entry
+  // and nothing else (no head drain, so a completed suffix behind a
+  // discarded head stalls vtnc forever). Exists so the deterministic
+  // simulator can demonstrate that the head-draining deviation is
+  // load-bearing; never set in production.
+  void SetLiteralFigure1DiscardForTest(bool literal);
+
  private:
   TxnNumber MakeNumber(uint64_t counter, uint32_t tiebreak) const {
     return mode_ == NumberingMode::kDense ? counter
@@ -124,6 +133,7 @@ class VersionControl {
   }
 
   const NumberingMode mode_;
+  bool literal_figure1_discard_ = false;  // testing only, see setter
   mutable std::mutex mu_;
   std::condition_variable cv_;  // signaled on Complete/Discard and vtnc moves
   uint64_t counter_ = 1;        // tnc (counter part)

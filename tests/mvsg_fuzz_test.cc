@@ -2,10 +2,19 @@
 // multiversion histories must always be accepted, and targeted
 // corruptions of them must be rejected. The checker is load-bearing for
 // every other concurrency test, so it gets its own adversary.
+//
+// Seeds come from the committed corpus tests/corpus/mvsg_seeds.txt —
+// every corpus entry is replayed on every run. A fresh-seed round
+// additionally probes seeds outside the corpus (base configurable via
+// MVCC_FUZZ_SEED_BASE, count via MVCC_FUZZ_FRESH_SEEDS); any failure it
+// prints names the seed to append to the corpus file.
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
@@ -52,16 +61,45 @@ std::vector<TxnRecord> MakeSerialHistory(Random* rng, int txns, int keys) {
   return records;
 }
 
-class MvsgFuzz : public ::testing::TestWithParam<uint64_t> {};
+// Loads the committed corpus; a corpus read failure must be loud, not a
+// silently empty (and therefore vacuous) test suite.
+std::vector<uint64_t> CorpusSeeds() {
+  const std::string path = std::string(MVCC_CORPUS_DIR) + "/mvsg_seeds.txt";
+  std::vector<uint64_t> seeds;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    seeds.push_back(std::strtoull(line.c_str() + start, nullptr, 0));
+  }
+  if (seeds.empty()) {
+    ADD_FAILURE() << "seed corpus missing or empty: " << path;
+    seeds.push_back(1);
+  }
+  return seeds;
+}
 
-TEST_P(MvsgFuzz, SerialHistoriesAlwaysAccepted) {
-  Random rng(GetParam());
+// Both properties for one seed, with the seed in every failure message
+// so it can be replayed (and appended to the corpus) directly.
+void CheckSerialHistoriesAccepted(uint64_t seed) {
+  Random rng(seed);
   for (int round = 0; round < 30; ++round) {
     auto records = MakeSerialHistory(&rng, 60, 8);
     Mvsg graph(records);
-    EXPECT_TRUE(graph.IsAcyclic()) << "round " << round;
-    EXPECT_TRUE(CheckLemmas(records).empty()) << "round " << round;
+    EXPECT_TRUE(graph.IsAcyclic())
+        << "seed " << seed << " round " << round
+        << " — add this seed to tests/corpus/mvsg_seeds.txt";
+    EXPECT_TRUE(CheckLemmas(records).empty())
+        << "seed " << seed << " round " << round
+        << " — add this seed to tests/corpus/mvsg_seeds.txt";
   }
+}
+
+class MvsgFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MvsgFuzz, SerialHistoriesAlwaysAccepted) {
+  CheckSerialHistoriesAccepted(GetParam());
 }
 
 TEST_P(MvsgFuzz, StaleReadWithLaterDependentWriteRejected) {
@@ -104,16 +142,34 @@ TEST_P(MvsgFuzz, StaleReadWithLaterDependentWriteRejected) {
         RecordedRead{key, before_a, before_a_writer});
     Mvsg graph(records);
     EXPECT_FALSE(graph.IsAcyclic())
-        << "lost update on key " << key << " not detected";
+        << "lost update on key " << key << " not detected (seed "
+        << GetParam() << " — add it to tests/corpus/mvsg_seeds.txt)";
     return;
   }
   GTEST_SKIP() << "no key with two writers in this seed's history";
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, MvsgFuzz,
-                         ::testing::Values(uint64_t{1}, uint64_t{2},
-                                           uint64_t{3}, uint64_t{4},
-                                           uint64_t{5}, uint64_t{6}));
+INSTANTIATE_TEST_SUITE_P(Corpus, MvsgFuzz,
+                         ::testing::ValuesIn(CorpusSeeds()));
+
+// Probes beyond the committed corpus: a deterministic base (override
+// with MVCC_FUZZ_SEED_BASE to explore elsewhere) and a configurable
+// count (MVCC_FUZZ_FRESH_SEEDS). Failures print the exact seed to
+// append to the corpus.
+TEST(MvsgFuzzFresh, FreshSeedsAccepted) {
+  uint64_t base = 0xC0FFEE;
+  uint64_t count = 25;
+  if (const char* env = std::getenv("MVCC_FUZZ_SEED_BASE")) {
+    base = std::strtoull(env, nullptr, 0);
+  }
+  if (const char* env = std::getenv("MVCC_FUZZ_FRESH_SEEDS")) {
+    const uint64_t n = std::strtoull(env, nullptr, 0);
+    if (n > 0) count = n;
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    CheckSerialHistoriesAccepted(base + i * 0x9E3779B97F4A7C15ULL);
+  }
+}
 
 }  // namespace
 }  // namespace mvcc

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -155,6 +156,179 @@ TEST(VersionControlTest, PromoteToSameNumberBumpsCounter) {
   vc.Promote(proposed, proposed);
   EXPECT_GT(vc.Register(2, 6), proposed);
   vc.Complete(proposed);
+}
+
+TEST(VersionControlTest, StartAtLeastReleasedByDiscardDrainingHead) {
+  // Regression: a StartAtLeast waiter depends on Discard advancing vtnc.
+  // t2 completes behind the still-active head t1; a reader insists on
+  // seeing t2. When t1 aborts, Discard must drain the completed suffix
+  // (advancing vtnc to t2) AND signal the condition variable — with
+  // Figure 1's literal VCdiscard the waiter would hang forever.
+  VersionControl vc;
+  const TxnNumber t1 = vc.Register(1);
+  const TxnNumber t2 = vc.Register(2);
+  vc.Complete(t2);
+  ASSERT_EQ(vc.Start(), 0u);  // invisible behind the active head
+
+  std::atomic<TxnNumber> observed{kInvalidTxnNumber};
+  std::thread reader([&] { observed.store(vc.StartAtLeast(t2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(observed.load(), kInvalidTxnNumber);  // still blocked
+
+  vc.Discard(t1);  // abort of the head releases the suffix
+  reader.join();
+  EXPECT_GE(observed.load(), t2);
+  EXPECT_EQ(vc.Start(), t2);
+  EXPECT_EQ(vc.QueueSize(), 0u);
+}
+
+TEST(VersionControlTest, LiteralFigure1DiscardStallsVisibility) {
+  // The deviation is load-bearing: with the literal pseudocode the
+  // completed suffix stays queued and vtnc never reaches it.
+  VersionControl vc;
+  vc.SetLiteralFigure1DiscardForTest(true);
+  const TxnNumber t1 = vc.Register(1);
+  const TxnNumber t2 = vc.Register(2);
+  vc.Complete(t2);
+  vc.Discard(t1);
+  EXPECT_EQ(vc.Start(), 0u);  // stalled: t2 completed but invisible
+  EXPECT_EQ(vc.QueueSize(), 1u);
+
+  vc.SetLiteralFigure1DiscardForTest(false);
+  const TxnNumber t3 = vc.Register(3);
+  vc.Complete(t3);  // the next drain heals the stall
+  EXPECT_EQ(vc.Start(), t3);
+  EXPECT_EQ(vc.QueueSize(), 0u);
+}
+
+TEST(VersionControlTest, ConcurrentPromoteRegisterRace) {
+  // Section 6 number agreement under contention: promotions to agreed
+  // global numbers race with fresh local registrations. Every handed-out
+  // number must stay unique and the counter must end past every
+  // promotion target.
+  VersionControl vc(NumberingMode::kSiteTagged);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::atomic<uint32_t> tiebreak{1};
+  std::atomic<TxnNumber> max_agreed{0};
+  std::vector<std::vector<TxnNumber>> finals(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      finals[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        const uint32_t tb = tiebreak.fetch_add(1);
+        const TxnNumber proposed = vc.Register(tb, tb);
+        TxnNumber final_tn = proposed;
+        if (i % 2 == 0) {
+          // "Agreement" picked a higher coordinator number: promote.
+          const TxnNumber agreed =
+              ((proposed >> 32) + 1 + (tb % 3)) << 32 | tb;
+          vc.Promote(proposed, agreed);
+          final_tn = agreed;
+          TxnNumber cur = max_agreed.load();
+          while (cur < agreed &&
+                 !max_agreed.compare_exchange_weak(cur, agreed)) {
+          }
+        }
+        finals[t].push_back(final_tn);
+        if (i % 3 == 0) {
+          vc.Discard(final_tn);
+        } else {
+          vc.Complete(final_tn);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  std::vector<TxnNumber> all;
+  for (const auto& list : finals) all.insert(all.end(), list.begin(), list.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end())
+      << "duplicate transaction number handed out under the race";
+  EXPECT_EQ(vc.QueueSize(), 0u);
+  EXPECT_GT(vc.NextNumber(), max_agreed.load());
+  EXPECT_LT(vc.Start(), vc.NextNumber());
+}
+
+TEST(VersionControlTest, AdvanceCounterPastVsInFlightRegister) {
+  // Remote read-only snapshots push the counter (Lamport-style) while
+  // local writers register. Each thread checks that its own push is
+  // honored by its very next registration; globally all numbers stay
+  // unique and the vtnc < tnc invariant holds at quiesce.
+  VersionControl vc(NumberingMode::kSiteTagged);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::atomic<uint32_t> tiebreak{1};
+  std::atomic<bool> failed{false};
+  std::vector<std::vector<TxnNumber>> assigned(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      assigned[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        const uint32_t tb = tiebreak.fetch_add(1);
+        // A remote snapshot with an aggressive start number arrives.
+        const TxnNumber sn = (uint64_t{static_cast<uint32_t>(
+                                 (t * kPerThread + i) % 3000)}
+                              << 32);
+        vc.AdvanceCounterPast(sn);
+        const TxnNumber tn = vc.Register(tb, tb);
+        if (tn <= sn) failed.store(true);
+        assigned[t].push_back(tn);
+        vc.Complete(tn);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_FALSE(failed.load())
+      << "Register returned a number not past a prior AdvanceCounterPast";
+
+  std::vector<TxnNumber> all;
+  for (const auto& list : assigned) all.insert(all.end(), list.begin(), list.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+  EXPECT_EQ(vc.QueueSize(), 0u);
+  EXPECT_LT(vc.Start(), vc.NextNumber());
+}
+
+TEST(VersionControlTest, WaitNoActiveReleasedByMixedCompleteAndDiscard) {
+  // The Section 6 snapshot-read barrier must fall no matter HOW the
+  // registered transactions below the bound resolve: commits
+  // (Complete) and aborts (Discard) both count, in any interleaving.
+  constexpr int kRounds = 50;
+  for (int round = 0; round < kRounds; ++round) {
+    VersionControl vc;
+    constexpr int kTxns = 6;
+    std::vector<TxnNumber> tns;
+    for (int i = 0; i < kTxns; ++i) tns.push_back(vc.Register(i + 1));
+    const TxnNumber bound = tns.back();
+
+    std::atomic<bool> released{false};
+    std::thread waiter([&] {
+      vc.WaitNoActiveAtOrBelow(bound);
+      released.store(true);
+    });
+
+    // Resolve every transaction from competing threads, alternating
+    // commit/abort with a rotation per round.
+    std::vector<std::thread> resolvers;
+    for (int i = 0; i < kTxns; ++i) {
+      resolvers.emplace_back([&, i] {
+        if ((i + round) % 2 == 0) {
+          vc.Complete(tns[i]);
+        } else {
+          vc.Discard(tns[i]);
+        }
+      });
+    }
+    for (auto& r : resolvers) r.join();
+    waiter.join();
+    EXPECT_TRUE(released.load());
+    EXPECT_EQ(vc.QueueSize(), 0u);
+    EXPECT_LT(vc.Start(), vc.NextNumber());
+  }
 }
 
 TEST(VersionControlTest, ConcurrentRegistrationStress) {
