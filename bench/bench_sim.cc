@@ -5,7 +5,8 @@
 //
 // Usage:
 //   bench_sim [--seeds=N] [--start-seed=S] [--drop=P] [--delay=K]
-//             [--crash-every=M] [--dist-only | --local-only]
+//             [--crash-every=M]
+//             [--dist-only | --local-only | --repl-only]
 //
 // Exit status is non-zero if any configuration produced a violation, so
 // this doubles as a CI sweep job.
@@ -100,11 +101,12 @@ int main(int argc, char** argv) {
   const uint64_t crash_every = FlagU64(argc, argv, "crash-every", 4);
   const bool dist_only = FlagSet(argc, argv, "dist-only");
   const bool local_only = FlagSet(argc, argv, "local-only");
+  const bool repl_only = FlagSet(argc, argv, "repl-only");
 
   bool failed = false;
   const int64_t t0 = NowNanos();
 
-  if (!dist_only) {
+  if (!dist_only && !repl_only) {
     const ProtocolKind protocols[] = {
         ProtocolKind::kVc2pl, ProtocolKind::kVcTo, ProtocolKind::kVcOcc,
         ProtocolKind::kVcAdaptive};
@@ -130,7 +132,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!local_only) {
+  if (!local_only && !repl_only) {
     SweepStats clean;
     SweepStats faulty;
     for (uint64_t s = start_seed; s < start_seed + seeds; ++s) {
@@ -143,6 +145,32 @@ int main(int argc, char** argv) {
     }
     clean.Print("dist");
     faulty.Print("dist+faults");
+    failed |= !clean.failures.empty() || !faulty.failures.empty();
+  }
+
+  if (!local_only && !dist_only) {
+    // Replication sweep: each seed runs once clean and once under the
+    // full fault mix — message drops/delays (dropped or reordered WAL
+    // shipments), replica crashes with checkpoint resync, and WAL
+    // truncation racing the shipping cursor. Replica count, protocol and
+    // staleness budget rotate with the seed for coverage.
+    SweepStats clean;
+    SweepStats faulty;
+    for (uint64_t s = start_seed; s < start_seed + seeds; ++s) {
+      ReplExploreOptions opt;
+      opt.seed = s;
+      opt.replicas = 1 + static_cast<int>(s % 3);
+      opt.protocol = s % 2 == 0 ? ProtocolKind::kVc2pl : ProtocolKind::kVcTo;
+      opt.staleness_budget = s % 5 == 0 ? 0 : 2 + s % 6;
+      clean.Absorb(ExploreReplicationOnce(opt));
+      opt.faults.message_drop_probability = drop;
+      opt.faults.message_delay_max_steps = static_cast<uint32_t>(delay);
+      opt.replica_crashes = static_cast<int>(s % 3);
+      opt.wal_truncations = static_cast<int>(s % 2);
+      faulty.Absorb(ExploreReplicationOnce(opt));
+    }
+    clean.Print("repl");
+    faulty.Print("repl+faults");
     failed |= !clean.failures.empty() || !faulty.failures.empty();
   }
 

@@ -130,6 +130,7 @@ Status Optimistic::Commit(TxnState* txn) {
     TrimLogLocked();
   }
 
+  LogCommitBatch(env_, *txn);
   env_.vc->Complete(txn->tn);
   return Status::OK();
 }

@@ -2,6 +2,7 @@
 
 #include "common/clock.h"
 #include "common/sim_hook.h"
+#include "recovery/wal.h"
 
 namespace mvcc {
 
@@ -16,6 +17,18 @@ void MaybePauseInstall(const ProtocolEnv& env) {
     // Busy-wait: the injected window must not depend on scheduler wakeup
     // granularity.
   }
+}
+
+void LogCommitBatch(const ProtocolEnv& env, const TxnState& txn) {
+  if (env.wal == nullptr || txn.write_order.empty()) return;
+  CommitBatch batch;
+  batch.txn = txn.id;
+  batch.tn = txn.tn;
+  batch.writes.reserve(txn.write_order.size());
+  for (ObjectKey key : txn.write_order) {
+    batch.writes.push_back(LoggedWrite{key, txn.write_set.at(key)});
+  }
+  env.wal->Append(std::move(batch));
 }
 
 }  // namespace mvcc

@@ -15,6 +15,8 @@
 
 namespace mvcc {
 
+class WriteAheadLog;
+
 // Shared services handed to every protocol implementation. The version
 // control module is present for all protocols but the baselines ignore it;
 // the VC protocols never let read-only transactions touch anything else.
@@ -22,6 +24,12 @@ struct ProtocolEnv {
   ObjectStore* store = nullptr;
   VersionControl* vc = nullptr;
   EventCounters* counters = nullptr;
+
+  // Optional write-ahead log. VC protocols append the commit batch
+  // through LogCommitBatch() BEFORE calling VCcomplete, so that the log
+  // is always ahead of visibility (see below); baselines are logged by
+  // the transaction layer after their own commit point.
+  WriteAheadLog* wal = nullptr;
 
   // Fault injection: busy-wait this long between the per-key version
   // installs of one commit. Widens the (real but nanosecond-scale)
@@ -33,6 +41,13 @@ struct ProtocolEnv {
 
 // Helper for the fault-injection pause above.
 void MaybePauseInstall(const ProtocolEnv& env);
+
+// Appends T's committed writes to env.wal (no-op without a log or with an
+// empty write set). VC protocols MUST call this after installing their
+// versions and BEFORE VCcomplete(tn): replication tails the log under the
+// invariant that every committed batch with tn <= vtnc is already durable,
+// so a shipped visibility horizon can never miss a committed batch.
+void LogCommitBatch(const ProtocolEnv& env, const TxnState& txn);
 
 // A pluggable synchronization protocol: the paper's "concurrency control
 // component" plus, for the baselines, their integrated version management.

@@ -192,6 +192,7 @@ Status TimestampOrdering::Commit(TxnState* txn) {
     }
     shard.cv.notify_all();
   }
+  LogCommitBatch(env_, *txn);
   env_.vc->Complete(txn->tn);
   return Status::OK();
 }

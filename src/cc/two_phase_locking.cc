@@ -91,7 +91,9 @@ Status TwoPhaseLocking::Commit(TxnState* txn) {
     env_.store->GetOrCreate(key)->Install(
         Version{txn->tn, txn->write_set[key], txn->id});
   }
-  // Clear locks, then make the updates visible in serial order.
+  // Log, clear locks, then make the updates visible in serial order —
+  // the write-ahead point precedes visibility (see LogCommitBatch).
+  LogCommitBatch(env_, *txn);
   locks_.ReleaseAll(txn->id);
   ranges_.ReleaseAll(txn->id);
   env_.vc->Complete(txn->tn);

@@ -4,14 +4,19 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <iterator>
 
 namespace mvcc {
 
 // Message categories exchanged between sites in the distributed
-// simulation. Message counts are the measured quantity of experiment E7:
-// read-only transactions in the distributed VC scheme commit with ZERO
-// messages beyond their remote reads (no two-phase commit, unlike
-// distributed MVTO where readers update r-ts at every site).
+// simulation and the replication tier. Message counts are the measured
+// quantity of experiment E7: read-only transactions in the distributed VC
+// scheme commit with ZERO messages beyond their remote reads (no
+// two-phase commit, unlike distributed MVTO where readers update r-ts at
+// every site). The replication categories carry primary-to-replica log
+// shipping (src/repl/): read-only transactions served by a replica cost
+// zero messages of ANY category — the shipping traffic is per committed
+// batch, not per reader.
 enum class MessageType {
   kRemoteRead = 0,   // read-write remote read (lock + fetch)
   kRemoteWrite,      // read-write remote write (lock + buffer)
@@ -19,8 +24,22 @@ enum class MessageType {
   kCommit,           // 2PC phase 2 (carries the agreed global tn)
   kAbort,
   kSnapshotRead,     // read-only remote snapshot read
-  kCount,            // sentinel
+  kReplBatch,        // WAL shipping: commit batch / horizon / resync image
+  kReplAck,          // replica cumulative apply acknowledgement
+  kCount,            // sentinel — MUST stay the bound of every per-type array
 };
+
+// Display names for per-type tables (bench_distributed, bench_replication).
+// The static_assert pins the "kCount is the array bound everywhere"
+// contract: adding a MessageType without updating every consumer fails to
+// compile here rather than silently mis-indexing.
+inline constexpr const char* kMessageTypeNames[] = {
+    "remote_read", "remote_write", "prepare",    "commit",
+    "abort",       "snapshot_read", "repl_batch", "repl_ack",
+};
+static_assert(std::size(kMessageTypeNames) ==
+                  static_cast<size_t>(MessageType::kCount),
+              "kMessageTypeNames must cover every MessageType");
 
 // In-process stand-in for a message-passing network between database
 // sites. Calls are executed synchronously; each Send() optionally spins

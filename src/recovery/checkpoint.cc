@@ -6,7 +6,7 @@ namespace mvcc {
 
 namespace {
 
-constexpr uint64_t kMagic = 0x4D564343434B3031ULL;  // "MVCCCK01"
+constexpr uint64_t kMagic = 0x4D564343434B3032ULL;  // "MVCCCK02"
 
 void PutU64(std::string* out, uint64_t v) {
   char buf[8];
@@ -31,6 +31,7 @@ std::string Checkpoint::Serialize() const {
   for (const CheckpointEntry& e : entries) {
     PutU64(&out, e.key);
     PutU64(&out, e.version);
+    PutU64(&out, e.writer);
     PutU64(&out, e.value.size());
     out.append(e.value);
   }
@@ -53,7 +54,8 @@ Result<Checkpoint> Checkpoint::Deserialize(const std::string& image) {
     CheckpointEntry e;
     uint64_t len = 0;
     if (!GetU64(image, &pos, &e.key) || !GetU64(image, &pos, &e.version) ||
-        !GetU64(image, &pos, &len) || pos + len > image.size()) {
+        !GetU64(image, &pos, &e.writer) || !GetU64(image, &pos, &len) ||
+        pos + len > image.size()) {
       return Status::InvalidArgument("truncated checkpoint entry");
     }
     e.value.assign(image, pos, len);

@@ -18,6 +18,10 @@ namespace mvcc {
 struct CheckpointEntry {
   ObjectKey key = 0;
   VersionNumber version = 0;
+  // Transaction id of the version's creator (0 = initial load T0). Kept
+  // so that a database re-seeded from a checkpoint — recovery or replica
+  // resync — preserves reads-from attribution for the MVSG oracle.
+  TxnId writer = 0;
   Value value;
 };
 

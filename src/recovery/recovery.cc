@@ -18,8 +18,8 @@ Checkpoint TakeCheckpoint(Database* db) {
     if (chain == nullptr) continue;
     Result<VersionRead> read = chain->Read(out.vtnc);
     if (!read.ok()) continue;  // object born after the snapshot
-    out.entries.push_back(
-        CheckpointEntry{key, read->version, std::move(read->value)});
+    out.entries.push_back(CheckpointEntry{key, read->version, read->writer,
+                                          std::move(read->value)});
   }
   snapshot->Commit();
   return out;
@@ -36,7 +36,7 @@ std::unique_ptr<Database> RecoverDatabase(DatabaseOptions options,
       // Version 0 rows duplicate the preload; skip them if present.
       VersionChain* chain = db->store().GetOrCreate(entry.key);
       if (entry.version == 0 && chain->LatestNumber() == 0) continue;
-      chain->Install(Version{entry.version, entry.value, /*writer=*/0});
+      chain->Install(Version{entry.version, entry.value, entry.writer});
     }
     last_committed = checkpoint->vtnc;
   }

@@ -64,13 +64,38 @@ std::vector<CommitBatch> WriteAheadLog::Batches() const {
   return batches_;
 }
 
+Result<std::vector<CommitBatch>> WriteAheadLog::BatchesSince(
+    TxnNumber after) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (after < truncated_up_to_) {
+    return Status::Unavailable(
+        "WAL truncated past tn " + std::to_string(after) + " (watermark " +
+        std::to_string(truncated_up_to_) + "); resync from checkpoint");
+  }
+  std::vector<CommitBatch> out;
+  for (const CommitBatch& batch : batches_) {
+    if (batch.tn > after) out.push_back(batch);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CommitBatch& a, const CommitBatch& b) {
+              return a.tn < b.tn;
+            });
+  return out;
+}
+
 void WriteAheadLog::Truncate(TxnNumber up_to) {
   std::lock_guard<std::mutex> guard(mu_);
+  truncated_up_to_ = std::max(truncated_up_to_, up_to);
   batches_.erase(std::remove_if(batches_.begin(), batches_.end(),
                                 [up_to](const CommitBatch& b) {
                                   return b.tn <= up_to;
                                 }),
                  batches_.end());
+}
+
+TxnNumber WriteAheadLog::TruncatedUpTo() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return truncated_up_to_;
 }
 
 size_t WriteAheadLog::size() const {

@@ -30,8 +30,21 @@ class WriteAheadLog {
   // Snapshot of all batches currently in the log.
   std::vector<CommitBatch> Batches() const;
 
-  // Drops batches with tn <= `up_to` (they are covered by a checkpoint).
+  // Incremental tail for replication: all batches with tn > `after`,
+  // sorted by ascending tn (appends may arrive out of tn order under
+  // timestamp ordering). Fails with kUnavailable when `after` lies below
+  // the truncation watermark — batches in (after, watermark] may have
+  // existed and been dropped under a checkpoint, so the caller MUST
+  // resync from that checkpoint instead of silently skipping the gap.
+  Result<std::vector<CommitBatch>> BatchesSince(TxnNumber after) const;
+
+  // Drops batches with tn <= `up_to` (they are covered by a checkpoint)
+  // and raises the truncation watermark to `up_to`.
   void Truncate(TxnNumber up_to);
+
+  // Largest `up_to` ever passed to Truncate (0 if never truncated).
+  // Tailing below this point is refused by BatchesSince.
+  TxnNumber TruncatedUpTo() const;
 
   size_t size() const;
 
@@ -60,6 +73,7 @@ class WriteAheadLog {
   mutable std::mutex mu_;
   std::vector<CommitBatch> batches_;
   TxnNumber max_tn_ = 0;
+  TxnNumber truncated_up_to_ = 0;
   std::atomic<bool> crashed_{false};
 };
 

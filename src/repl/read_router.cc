@@ -1,0 +1,97 @@
+#include "repl/read_router.h"
+
+#include <limits>
+
+#include "common/sim_hook.h"
+
+namespace mvcc {
+namespace repl {
+
+Result<Value> RoutedReadTxn::Read(ObjectKey key) {
+  if (replica_txn_) return replica_txn_->Read(key);
+  return primary_txn_->Read(key);
+}
+
+Result<std::vector<std::pair<ObjectKey, Value>>> RoutedReadTxn::Scan(
+    ObjectKey lo, ObjectKey hi) {
+  if (replica_txn_) return replica_txn_->Scan(lo, hi);
+  return primary_txn_->Scan(lo, hi);
+}
+
+void RoutedReadTxn::Commit() {
+  if (replica_txn_) {
+    replica_txn_->Commit();
+  } else {
+    primary_txn_->Commit();  // read-only: cannot fail ("end(T): phi")
+  }
+}
+
+void RoutedReadTxn::Abort() {
+  if (replica_txn_) {
+    replica_txn_->Abort();
+  } else {
+    primary_txn_->Abort();
+  }
+}
+
+TxnNumber RoutedReadTxn::snapshot() const {
+  return replica_txn_ ? replica_txn_->snapshot()
+                      : primary_txn_->start_number();
+}
+
+ReadRouter::ReadRouter(Database* primary, std::vector<Replica*> replicas,
+                       TxnNumber staleness_budget)
+    : primary_(primary),
+      replicas_(std::move(replicas)),
+      staleness_budget_(staleness_budget) {}
+
+RoutedReadTxn ReadRouter::Route(TxnNumber floor) {
+  SimSchedulePoint("repl.route");
+  const TxnNumber vtnc = primary_->version_control().vtnc();
+  const size_t n = replicas_.size();
+  size_t best = n;
+  TxnNumber best_lag = std::numeric_limits<TxnNumber>::max();
+  // Scanning from a rotating offset makes the strict `<` below a
+  // round-robin tie-break: equally-caught-up replicas take turns, so
+  // read throughput scales with replica count instead of pinning every
+  // reader to replica 0.
+  const size_t offset =
+      n == 0 ? 0 : rr_.fetch_add(1, std::memory_order_relaxed) % n;
+  for (size_t k = 0; k < n; ++k) {
+    const size_t i = (offset + k) % n;
+    Replica* replica = replicas_[i];
+    if (!replica->Serviceable()) continue;  // crashed / not yet seeded
+    const TxnNumber horizon = replica->Horizon();
+    if (horizon < floor) continue;  // cannot satisfy the currency demand
+    const TxnNumber lag = vtnc > horizon ? vtnc - horizon : 0;
+    if (lag > staleness_budget_) continue;
+    if (lag < best_lag) {
+      best = i;
+      best_lag = lag;
+    }
+  }
+  if (best < n) {
+    to_replica_.fetch_add(1, std::memory_order_relaxed);
+    TxnNumber seen = max_lag_.load(std::memory_order_relaxed);
+    while (best_lag > seen &&
+           !max_lag_.compare_exchange_weak(seen, best_lag,
+                                           std::memory_order_relaxed)) {
+    }
+    return RoutedReadTxn(replicas_[best]->BeginReadOnly(),
+                         replicas_[best]->replica_id());
+  }
+  to_primary_.fetch_add(1, std::memory_order_relaxed);
+  if (floor > 0) {
+    return RoutedReadTxn(primary_->BeginReadOnlyAtLeast(floor));
+  }
+  return RoutedReadTxn(primary_->Begin(TxnClass::kReadOnly));
+}
+
+RoutedReadTxn ReadRouter::Begin() { return Route(/*floor=*/0); }
+
+RoutedReadTxn ReadRouter::BeginAtLeast(TxnNumber at_least) {
+  return Route(at_least);
+}
+
+}  // namespace repl
+}  // namespace mvcc

@@ -1,0 +1,103 @@
+#ifndef MVCC_REPL_READ_ROUTER_H_
+#define MVCC_REPL_READ_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "repl/replica.h"
+#include "txn/database.h"
+
+namespace mvcc {
+namespace repl {
+
+// A read-only transaction placed by the ReadRouter: either replica-served
+// (wrapping a ReplicaReadTxn) or primary-served (wrapping an ordinary
+// Transaction in read-only class). Same read rule either way — largest
+// version <= snapshot — so callers never care where they landed, except
+// through the metrics.
+class RoutedReadTxn {
+ public:
+  RoutedReadTxn(RoutedReadTxn&&) = default;
+  RoutedReadTxn& operator=(RoutedReadTxn&&) = default;
+
+  Result<Value> Read(ObjectKey key);
+  Result<std::vector<std::pair<ObjectKey, Value>>> Scan(ObjectKey lo,
+                                                        ObjectKey hi);
+  void Commit();
+  void Abort();
+
+  TxnNumber snapshot() const;
+  bool on_replica() const { return replica_txn_.has_value(); }
+  // Which replica served this transaction; -1 when primary-served.
+  int replica_id() const { return replica_id_; }
+
+ private:
+  friend class ReadRouter;
+  explicit RoutedReadTxn(ReplicaReadTxn txn, int replica_id)
+      : replica_txn_(std::move(txn)), replica_id_(replica_id) {}
+  explicit RoutedReadTxn(std::unique_ptr<Transaction> txn)
+      : primary_txn_(std::move(txn)) {}
+
+  std::optional<ReplicaReadTxn> replica_txn_;
+  std::unique_ptr<Transaction> primary_txn_;
+  int replica_id_ = -1;
+};
+
+// Routes read-only transactions to the least-lagged serviceable replica
+// whose staleness (vtnc - rvtnc, in transaction numbers) fits within
+// `staleness_budget`; ties broken round-robin so caught-up replicas share
+// the read load. Falls back to the primary when no replica qualifies —
+// the answer is then exact but spends primary capacity.
+//
+// Routing is wait-free: one vtnc load plus one horizon load per replica,
+// no locks, no messages, and the placed transaction never blocks either
+// (replica reads are pure snapshot reads; primary read-only transactions
+// are wait-free by Figure 2).
+class ReadRouter {
+ public:
+  ReadRouter(Database* primary, std::vector<Replica*> replicas,
+             TxnNumber staleness_budget);
+
+  RoutedReadTxn Begin();
+
+  // A read-only transaction that must observe the effects of transaction
+  // number `at_least` (the Section 6 currency fix). Served by a replica
+  // already at or past that horizon if one qualifies; otherwise by the
+  // primary, waiting there if vtnc itself lags.
+  RoutedReadTxn BeginAtLeast(TxnNumber at_least);
+
+  uint64_t reads_to_replica() const {
+    return to_replica_.load(std::memory_order_relaxed);
+  }
+  uint64_t reads_to_primary() const {
+    return to_primary_.load(std::memory_order_relaxed);
+  }
+  // Largest staleness (vtnc - rvtnc) observed for any replica-served
+  // transaction at routing time.
+  TxnNumber max_served_lag() const {
+    return max_lag_.load(std::memory_order_relaxed);
+  }
+  TxnNumber staleness_budget() const { return staleness_budget_; }
+
+ private:
+  RoutedReadTxn Route(TxnNumber floor);
+
+  Database* const primary_;
+  std::vector<Replica*> replicas_;
+  const TxnNumber staleness_budget_;
+  std::atomic<uint64_t> rr_{0};  // round-robin tie-break cursor
+  std::atomic<uint64_t> to_replica_{0};
+  std::atomic<uint64_t> to_primary_{0};
+  std::atomic<TxnNumber> max_lag_{0};
+};
+
+}  // namespace repl
+}  // namespace mvcc
+
+#endif  // MVCC_REPL_READ_ROUTER_H_

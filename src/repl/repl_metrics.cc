@@ -1,0 +1,30 @@
+#include "repl/repl_metrics.h"
+
+namespace mvcc {
+namespace repl {
+
+ReplicationStats CollectReplicationStats(const ReplicationStream& stream,
+                                         const std::vector<Replica*>& replicas,
+                                         const ReadRouter* router,
+                                         double seconds) {
+  ReplicationStats out;
+  out.records_shipped = stream.stats().records_shipped;
+  out.retransmits = stream.stats().retransmits;
+  out.send_drops = stream.stats().send_drops;
+  out.resyncs = stream.stats().resyncs;
+  for (const Replica* replica : replicas) {
+    out.records_applied += replica->records_applied();
+    out.batches_applied += replica->batches_applied();
+    out.replica_crashes += replica->crashes();
+  }
+  if (router != nullptr) {
+    out.reads_to_replica = router->reads_to_replica();
+    out.reads_to_primary = router->reads_to_primary();
+    out.max_served_lag = router->max_served_lag();
+  }
+  out.seconds = seconds;
+  return out;
+}
+
+}  // namespace repl
+}  // namespace mvcc

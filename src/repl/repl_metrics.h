@@ -1,0 +1,25 @@
+#ifndef MVCC_REPL_REPL_METRICS_H_
+#define MVCC_REPL_REPL_METRICS_H_
+
+#include <vector>
+
+#include "repl/read_router.h"
+#include "repl/replica.h"
+#include "repl/replication_stream.h"
+#include "workload/metrics.h"
+
+namespace mvcc {
+namespace repl {
+
+// Snapshots the counters of a whole replication deployment into the
+// workload-layer ReplicationStats. `router` may be null (no read
+// routing in the run); `seconds` scales the derived rates.
+ReplicationStats CollectReplicationStats(const ReplicationStream& stream,
+                                         const std::vector<Replica*>& replicas,
+                                         const ReadRouter* router,
+                                         double seconds = 0.0);
+
+}  // namespace repl
+}  // namespace mvcc
+
+#endif  // MVCC_REPL_REPL_METRICS_H_

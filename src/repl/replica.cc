@@ -1,0 +1,202 @@
+#include "repl/replica.h"
+
+#include <algorithm>
+
+#include "common/sim_hook.h"
+#include "common/status.h"
+#include "storage/version.h"
+
+namespace mvcc {
+namespace repl {
+
+Replica::Replica(int replica_id, SimulatedNetwork* network, History* history)
+    : replica_id_(replica_id),
+      network_(network),
+      history_(history),
+      store_(std::make_shared<ObjectStore>()) {}
+
+void Replica::Deliver(const ReplRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inbox_.push_back(record);
+}
+
+void Replica::Resync(const Checkpoint& checkpoint, uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto fresh = std::make_shared<ObjectStore>();
+  for (const CheckpointEntry& e : checkpoint.entries) {
+    fresh->GetOrCreate(e.key)->Install(Version{e.version, e.value, e.writer});
+  }
+  store_ = std::move(fresh);
+  inbox_.clear();
+  reorder_.clear();
+  epoch_ = epoch;
+  next_seq_ = 1;
+  applied_seq_ = 0;
+  // The stream invokes Resync synchronously on delivery of the checkpoint
+  // image, so the (epoch, 0) acknowledgement is implicit.
+  acked_epoch_ = epoch;
+  acked_seq_ = 0;
+  rvtnc_.store(checkpoint.vtnc, std::memory_order_release);
+  needs_resync_.store(false, std::memory_order_release);
+  resyncs_.fetch_add(1, std::memory_order_relaxed);
+  SimObserve(this, "repl.resync", epoch, checkpoint.vtnc);
+}
+
+std::pair<uint64_t, uint64_t> Replica::AckedUpTo() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {acked_epoch_, acked_seq_};
+}
+
+size_t Replica::ApplyOnce() {
+  SimSchedulePoint("repl.apply");
+  size_t applied = 0;
+  uint64_t ack_epoch = 0;
+  uint64_t ack_seq = 0;
+  bool want_ack = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (needs_resync_.load(std::memory_order_relaxed)) {
+      // Crashed and not yet re-seeded: anything delivered is from a dead
+      // incarnation.
+      inbox_.clear();
+      reorder_.clear();
+      return 0;
+    }
+    // Stage deliveries: wrong-epoch records are leftovers from before a
+    // resync; seq below next_seq_ is a retransmitted duplicate.
+    while (!inbox_.empty()) {
+      ReplRecord rec = std::move(inbox_.front());
+      inbox_.pop_front();
+      if (rec.epoch != epoch_ || rec.seq < next_seq_) continue;
+      reorder_.emplace(rec.seq, std::move(rec));
+    }
+    // Apply the contiguous prefix, in dense seq order == tn order. A hole
+    // in the sequence (dropped or delayed record) stops the loop: later
+    // records wait in reorder_, so a gap can delay visibility but never
+    // produce a snapshot that is missing a committed batch.
+    for (auto it = reorder_.begin();
+         it != reorder_.end() && it->first == next_seq_;
+         it = reorder_.erase(it), ++next_seq_) {
+      const ReplRecord& rec = it->second;
+      if (rec.has_batch) {
+        for (const LoggedWrite& write : rec.batch.writes) {
+          store_->GetOrCreate(write.key)->Install(
+              Version{rec.batch.tn, write.value, rec.batch.txn});
+        }
+        batches_applied_.fetch_add(1, std::memory_order_relaxed);
+      }
+      // The horizon becomes visible only after the whole batch installed:
+      // a reader beginning between two Installs still snapshots at the
+      // previous horizon and cannot see a torn batch.
+      rvtnc_.store(rec.horizon, std::memory_order_release);
+      applied_seq_ = rec.seq;
+      records_applied_.fetch_add(1, std::memory_order_relaxed);
+      ++applied;
+      SimObserve(this, "repl.applied", rec.seq, rec.horizon);
+    }
+    // Cumulative ack; re-sent while the stream's view lags (a dropped ack
+    // must not wedge retransmission forever).
+    if (applied_seq_ > acked_seq_ || acked_epoch_ != epoch_) {
+      want_ack = true;
+      ack_epoch = epoch_;
+      ack_seq = applied_seq_;
+    }
+  }
+  // The network send yields to the simulated scheduler; never hold mu_
+  // across it (Deliver runs on the shipper task).
+  if (want_ack &&
+      network_->Send(MessageType::kReplAck, site_id(), /*to_site=*/0)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (epoch_ == ack_epoch) {
+      acked_epoch_ = ack_epoch;
+      acked_seq_ = std::max(acked_seq_, ack_seq);
+    }
+  }
+  return applied;
+}
+
+void Replica::Crash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  store_ = std::make_shared<ObjectStore>();
+  inbox_.clear();
+  reorder_.clear();
+  next_seq_ = 1;
+  applied_seq_ = 0;
+  rvtnc_.store(0, std::memory_order_release);
+  needs_resync_.store(true, std::memory_order_release);
+  crashes_.fetch_add(1, std::memory_order_relaxed);
+  SimObserve(this, "repl.crash", epoch_, 0);
+}
+
+ReplicaReadTxn Replica::BeginReadOnly() {
+  std::shared_ptr<ObjectStore> store;
+  TxnNumber sn = 0;
+  {
+    // (store, rvtnc) must be read coherently: Crash() resets both under
+    // mu_, and a reader pairing the NEW empty store with the OLD horizon
+    // would see objects vanish below its snapshot.
+    std::lock_guard<std::mutex> lock(mu_);
+    store = store_;
+    sn = rvtnc_.load(std::memory_order_relaxed);
+  }
+  const TxnId id = (static_cast<TxnId>(replica_id_ + 1) << 48) |
+                   next_reader_id_.fetch_add(1, std::memory_order_relaxed);
+  return ReplicaReadTxn(std::move(store), sn, id, history_);
+}
+
+Result<VersionRead> Replica::SnapshotRead(TxnNumber sn, ObjectKey key) const {
+  std::shared_ptr<ObjectStore> store;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    store = store_;
+  }
+  VersionChain* chain = store->Find(key);
+  if (chain == nullptr) return Status::NotFound("no such key on replica");
+  return chain->Read(sn);
+}
+
+ReplicaReadTxn::~ReplicaReadTxn() = default;
+
+Result<Value> ReplicaReadTxn::Read(ObjectKey key) {
+  SimSchedulePoint("repl.read");
+  VersionChain* chain = store_->Find(key);
+  if (chain == nullptr) {
+    return Status::NotFound("key not visible at replica snapshot");
+  }
+  Result<VersionRead> read = chain->Read(sn_);
+  if (!read.ok()) return read.status();
+  reads_.push_back(RecordedRead{key, read->version, read->writer});
+  return std::move(read->value);
+}
+
+Result<std::vector<std::pair<ObjectKey, Value>>> ReplicaReadTxn::Scan(
+    ObjectKey lo, ObjectKey hi) {
+  SimSchedulePoint("repl.read");
+  std::vector<std::pair<ObjectKey, Value>> out;
+  for (ObjectKey key : store_->KeysInRange(lo, hi)) {
+    VersionChain* chain = store_->Find(key);
+    if (chain == nullptr) continue;
+    Result<VersionRead> read = chain->Read(sn_);
+    if (!read.ok()) continue;  // object born after this snapshot
+    reads_.push_back(RecordedRead{key, read->version, read->writer});
+    out.emplace_back(key, std::move(read->value));
+  }
+  return out;
+}
+
+void ReplicaReadTxn::Commit() {
+  if (finished_) return;
+  finished_ = true;
+  if (history_ == nullptr) return;
+  TxnRecord record;
+  record.id = id_;
+  record.cls = TxnClass::kReadOnly;
+  record.number = sn_;
+  record.reads = std::move(reads_);
+  history_->Record(std::move(record));
+}
+
+void ReplicaReadTxn::Abort() { finished_ = true; }
+
+}  // namespace repl
+}  // namespace mvcc

@@ -1,0 +1,201 @@
+#ifndef MVCC_REPL_REPLICA_H_
+#define MVCC_REPL_REPLICA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "dist/network.h"
+#include "history/history.h"
+#include "recovery/checkpoint.h"
+#include "recovery/log_record.h"
+#include "storage/object_store.h"
+
+namespace mvcc {
+namespace repl {
+
+// One shipped replication record. The stream assigns a dense per-epoch
+// sequence number in tn order, so "apply in seq order" equals "apply in
+// tn order" and a missing seq is a detected gap, never a silent skip.
+struct ReplRecord {
+  uint64_t epoch = 0;     // resync generation; stale epochs are ignored
+  uint64_t seq = 0;       // dense per-epoch sequence (1, 2, 3, ...)
+  // After applying this record and every earlier seq, the replica may
+  // serve read-only snapshots at sn = horizon: the primary guarantees no
+  // committed batch with tn <= horizon is missing (the WAL is appended
+  // before VCcomplete, and batches ship in tn order).
+  TxnNumber horizon = 0;
+  bool has_batch = false;
+  CommitBatch batch;
+};
+
+class ReplicaReadTxn;
+
+// A read-only replica site: its own object store fed exclusively by
+// applied CommitBatches, plus a replica visibility horizon `rvtnc` — the
+// distributed analogue of VCstart. Read-only transactions take
+// sn = rvtnc and read version chains directly: no locks, no registration,
+// no message to the primary, and (as on the primary, Figure 2) they can
+// never block, abort, or be aborted.
+//
+// Thread-safety: Deliver() (shipper thread) and ApplyOnce() (applier
+// thread) synchronize on an internal mutex; BeginReadOnly() may be called
+// from any number of reader threads concurrently. Crash()/Resync() swap
+// in a fresh store — in-flight readers keep a shared_ptr to the old store
+// and finish against their original snapshot.
+class Replica {
+ public:
+  // `replica_id` is zero-based; on the SimulatedNetwork the primary is
+  // site 0 and this replica is site replica_id + 1. `history` (optional)
+  // receives the TxnRecords of replica-served read-only transactions so
+  // the MVSG oracle can check one-copy serializability over the merged
+  // primary + replica history.
+  Replica(int replica_id, SimulatedNetwork* network, History* history);
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  int replica_id() const { return replica_id_; }
+  int site_id() const { return replica_id_ + 1; }
+
+  // ---- transport-facing interface (called by ReplicationStream) ----
+
+  // Enqueues one shipped record (called after a successful network Send).
+  void Deliver(const ReplRecord& record);
+
+  // Re-seeds the replica from a primary checkpoint at stream epoch
+  // `epoch`: fresh store holding the checkpoint image, rvtnc =
+  // checkpoint.vtnc, sequence expectations reset. Also the bootstrap path
+  // for a brand-new replica.
+  void Resync(const Checkpoint& checkpoint, uint64_t epoch);
+
+  // Cumulative acknowledgement the stream last received: (epoch, seq).
+  // Updated only after a kReplAck message was actually delivered.
+  std::pair<uint64_t, uint64_t> AckedUpTo() const;
+
+  // ---- apply loop ----
+
+  // Applies every contiguously-deliverable record (gap detection: a
+  // record whose seq is not the next expected one waits in a reorder
+  // buffer), advances rvtnc, and sends a cumulative kReplAck to the
+  // primary. Returns the number of records applied.
+  size_t ApplyOnce();
+
+  // ---- failure injection ----
+
+  // Loses all volatile state (store, horizon, reorder buffer). The
+  // replica refuses routing until the stream re-seeds it via Resync.
+  void Crash();
+  bool NeedsResync() const {
+    return needs_resync_.load(std::memory_order_acquire);
+  }
+  // A replica is serviceable once seeded and not crashed.
+  bool Serviceable() const { return !NeedsResync(); }
+
+  // ---- read-only serving ----
+
+  // Replica visibility horizon rvtnc: the largest tn such that every
+  // committed batch with tn <= rvtnc has been applied here.
+  TxnNumber Horizon() const { return rvtnc_.load(std::memory_order_acquire); }
+
+  // Begins a read-only transaction at sn = rvtnc.
+  ReplicaReadTxn BeginReadOnly();
+
+  // Direct snapshot read at `sn` (convergence checks, tests).
+  Result<VersionRead> SnapshotRead(TxnNumber sn, ObjectKey key) const;
+
+  // ---- metrics ----
+
+  uint64_t records_applied() const {
+    return records_applied_.load(std::memory_order_relaxed);
+  }
+  uint64_t batches_applied() const {
+    return batches_applied_.load(std::memory_order_relaxed);
+  }
+  uint64_t crashes() const {
+    return crashes_.load(std::memory_order_relaxed);
+  }
+  uint64_t resyncs() const {
+    return resyncs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class ReplicaReadTxn;
+
+  const int replica_id_;
+  SimulatedNetwork* const network_;
+  History* const history_;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<ObjectStore> store_;  // swapped by Crash/Resync
+  std::deque<ReplRecord> inbox_;
+  std::map<uint64_t, ReplRecord> reorder_;  // seq -> record, seq > applied
+  uint64_t epoch_ = 0;
+  uint64_t next_seq_ = 1;       // next seq to apply
+  uint64_t applied_seq_ = 0;    // highest contiguously applied seq
+  uint64_t acked_epoch_ = 0;    // last ack actually delivered
+  uint64_t acked_seq_ = 0;
+
+  std::atomic<TxnNumber> rvtnc_{0};
+  std::atomic<bool> needs_resync_{true};  // starts unseeded
+
+  // Replica reader ids live far above any primary TxnId so merged
+  // histories never collide.
+  std::atomic<uint64_t> next_reader_id_{1};
+
+  std::atomic<uint64_t> records_applied_{0};
+  std::atomic<uint64_t> batches_applied_{0};
+  std::atomic<uint64_t> crashes_{0};
+  std::atomic<uint64_t> resyncs_{0};
+};
+
+// A read-only transaction served entirely by one replica. Wait-free by
+// construction: every operation is a direct version-chain read at a fixed
+// snapshot. Movable value type; Commit() records the transaction into the
+// shared history (if any).
+class ReplicaReadTxn {
+ public:
+  ReplicaReadTxn(ReplicaReadTxn&&) = default;
+  ReplicaReadTxn& operator=(ReplicaReadTxn&&) = default;
+  ~ReplicaReadTxn();
+
+  // Largest version <= sn of `key` (the read rule of Figure 2).
+  Result<Value> Read(ObjectKey key);
+
+  // Snapshot range scan over [lo, hi]; phantom-free for free.
+  Result<std::vector<std::pair<ObjectKey, Value>>> Scan(ObjectKey lo,
+                                                        ObjectKey hi);
+
+  // end(T) = phi: records the history entry, nothing else.
+  void Commit();
+  // Ends without recording.
+  void Abort();
+
+  TxnId id() const { return id_; }
+  TxnNumber snapshot() const { return sn_; }
+  bool active() const { return !finished_; }
+
+ private:
+  friend class Replica;
+  ReplicaReadTxn(std::shared_ptr<ObjectStore> store, TxnNumber sn, TxnId id,
+                 History* history)
+      : store_(std::move(store)), sn_(sn), id_(id), history_(history) {}
+
+  std::shared_ptr<ObjectStore> store_;  // pins the snapshot across Crash()
+  TxnNumber sn_ = 0;
+  TxnId id_ = 0;
+  History* history_ = nullptr;
+  std::vector<RecordedRead> reads_;
+  bool finished_ = false;
+};
+
+}  // namespace repl
+}  // namespace mvcc
+
+#endif  // MVCC_REPL_REPLICA_H_

@@ -1,0 +1,144 @@
+#include "repl/replication_stream.h"
+
+#include <utility>
+
+#include "common/sim_hook.h"
+#include "recovery/recovery.h"
+#include "recovery/wal.h"
+
+namespace mvcc {
+namespace repl {
+
+ReplicationStream::ReplicationStream(Database* primary,
+                                     SimulatedNetwork* network,
+                                     std::vector<Replica*> replicas)
+    : primary_(primary),
+      network_(network),
+      replicas_(std::move(replicas)),
+      peers_(replicas_.size()) {}
+
+bool ReplicationStream::TryResync(Replica* replica, PeerState* peer) {
+  // A checkpoint is an ordinary read-only snapshot of the primary —
+  // re-seeding a replica costs the primary no synchronization, exactly
+  // like GC and recovery checkpoints.
+  Checkpoint checkpoint = TakeCheckpoint(primary_);
+  ++peer->epoch;
+  if (!network_->Send(MessageType::kReplBatch, /*from_site=*/0,
+                      replica->site_id())) {
+    ++stats_.send_drops;
+    return false;  // image lost in transit; retry next pump
+  }
+  replica->Resync(checkpoint, peer->epoch);
+  peer->resync_pending = false;
+  peer->next_seq = 1;
+  peer->in_flight.clear();
+  peer->shipped_tn = checkpoint.vtnc;
+  peer->shipped_horizon = checkpoint.vtnc;
+  ++stats_.resyncs;
+  return true;
+}
+
+size_t ReplicationStream::PumpPeer(size_t i) {
+  SimSchedulePoint("repl.ship");
+  Replica* replica = replicas_[i];
+  PeerState& peer = peers_[i];
+
+  if (replica->NeedsResync() || peer.resync_pending) {
+    peer.resync_pending = true;
+    if (!TryResync(replica, &peer)) return 0;
+  }
+
+  // Drop records the replica has durably applied (cumulative ack).
+  const auto [ack_epoch, ack_seq] = replica->AckedUpTo();
+  if (ack_epoch == peer.epoch) {
+    peer.in_flight.erase(peer.in_flight.begin(),
+                         peer.in_flight.upper_bound(ack_seq));
+  }
+
+  // Horizon BEFORE tail: see the class comment. Reading vtnc first plus
+  // the append-before-Complete invariant guarantees the tail below holds
+  // every committed batch with tn <= horizon that is past the cursor.
+  const TxnNumber horizon = primary_->version_control().vtnc();
+  Result<std::vector<CommitBatch>> tail =
+      primary_->wal()->BatchesSince(peer.shipped_tn);
+  if (!tail.ok()) {
+    // The log was truncated past our cursor under a checkpoint: batches
+    // in the gap are gone, so tailing would silently skip them. Fall
+    // back to a full re-seed.
+    peer.resync_pending = true;
+    return 0;
+  }
+
+  for (CommitBatch& batch : *tail) {
+    if (batch.tn > horizon) break;  // not yet visible; ship next pump
+    ReplRecord record;
+    record.epoch = peer.epoch;
+    record.seq = peer.next_seq++;
+    record.horizon = batch.tn;
+    record.has_batch = true;
+    peer.shipped_tn = batch.tn;
+    peer.shipped_horizon = batch.tn;
+    record.batch = std::move(batch);
+    peer.in_flight.emplace(record.seq, InFlight{std::move(record), 0});
+    ++stats_.records_shipped;
+  }
+  if (horizon > peer.shipped_horizon) {
+    // vtnc advanced past the last committed batch (a commit with an
+    // empty write set completes its tn without a WAL append): ship the
+    // horizon alone so replica reads keep up.
+    ReplRecord record;
+    record.epoch = peer.epoch;
+    record.seq = peer.next_seq++;
+    record.horizon = horizon;
+    record.has_batch = false;
+    peer.shipped_horizon = horizon;
+    peer.in_flight.emplace(record.seq, InFlight{std::move(record), 0});
+    ++stats_.records_shipped;
+  }
+
+  // At-least-once delivery, oldest first: new records go out at once,
+  // already-sent ones only every kRetransmitIntervalPumps pumps — the
+  // usual case for an unacked record is an ack still in flight, not a
+  // loss. The replica ignores duplicates (seq below its apply cursor),
+  // and a dropped record leaves a sequence gap it will not apply past.
+  ++peer.pump_count;
+  size_t delivered = 0;
+  for (auto& [seq, entry] : peer.in_flight) {
+    if (entry.attempts > 0 &&
+        peer.pump_count - entry.last_sent_pump < kRetransmitIntervalPumps) {
+      continue;
+    }
+    if (entry.attempts > 0) ++stats_.retransmits;
+    ++entry.attempts;
+    entry.last_sent_pump = peer.pump_count;
+    if (network_->Send(MessageType::kReplBatch, /*from_site=*/0,
+                       replica->site_id())) {
+      replica->Deliver(entry.record);
+      ++delivered;
+    } else {
+      ++stats_.send_drops;
+    }
+  }
+  return delivered;
+}
+
+size_t ReplicationStream::PumpOnce() {
+  size_t delivered = 0;
+  for (size_t i = 0; i < replicas_.size(); ++i) delivered += PumpPeer(i);
+  return delivered;
+}
+
+bool ReplicationStream::CaughtUp() const {
+  const TxnNumber vtnc = primary_->version_control().vtnc();
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    const PeerState& peer = peers_[i];
+    if (peer.resync_pending || replicas_[i]->NeedsResync()) return false;
+    if (!peer.in_flight.empty()) return false;
+    if (peer.shipped_horizon != vtnc) return false;
+    if (replicas_[i]->Horizon() != vtnc) return false;
+  }
+  return true;
+}
+
+}  // namespace repl
+}  // namespace mvcc

@@ -1,0 +1,100 @@
+#ifndef MVCC_REPL_REPLICATION_STREAM_H_
+#define MVCC_REPL_REPLICATION_STREAM_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/ids.h"
+#include "dist/network.h"
+#include "repl/replica.h"
+#include "txn/database.h"
+
+namespace mvcc {
+namespace repl {
+
+// Shipping-side counters (cumulative since construction).
+struct StreamStats {
+  uint64_t records_shipped = 0;  // distinct records handed to the network
+  uint64_t retransmits = 0;      // re-sends of an unacked record
+  uint64_t send_drops = 0;       // sends the network dropped
+  uint64_t resyncs = 0;          // successful checkpoint re-seeds
+};
+
+// The primary-side half of WAL-shipping replication. Tails the primary's
+// write-ahead log and streams committed batches to every replica over the
+// simulated network, in tn order, tagged with dense per-epoch sequence
+// numbers and a visibility horizon.
+//
+// Correctness rests on one ordering invariant, established in cc/protocol
+// (LogCommitBatch): a committed batch is appended to the WAL BEFORE
+// VCcomplete makes its tn visible through vtnc. PumpOnce therefore reads
+// the horizon H = vtnc FIRST and tails the log second — every committed
+// batch with tn <= H is already in the log, so a record carrying
+// horizon H can never promise a snapshot that is missing a batch.
+//
+// Delivery is at-least-once: unacknowledged records are retransmitted
+// every kRetransmitIntervalPumps pumps (first send is immediate; the
+// interval keeps a fast-spinning shipper from flooding a replica whose
+// ack is simply still in flight) and the replica discards duplicates by
+// sequence number. Two situations force a checkpoint resync instead of
+// tailing: the replica lost its state (crash), or the log was truncated
+// past the shipping cursor (BatchesSince refuses to tail across the
+// watermark).
+//
+// Driven by a single shipper thread/task; not internally synchronized.
+class ReplicationStream {
+ public:
+  ReplicationStream(Database* primary, SimulatedNetwork* network,
+                    std::vector<Replica*> replicas);
+
+  // One shipping round over all replicas: prune acked records, tail the
+  // log, ship new + unacked records, resync crashed/overrun replicas.
+  // Returns the number of records delivered this round.
+  size_t PumpOnce();
+
+  // True when every replica is seeded, has acknowledged every shipped
+  // record, and its horizon equals the primary's current vtnc. (A later
+  // commit on the primary un-catches-up the stream until the next pump.)
+  bool CaughtUp() const;
+
+  const StreamStats& stats() const { return stats_; }
+
+ private:
+  // Pumps between re-sends of an already-sent unacked record.
+  static constexpr uint64_t kRetransmitIntervalPumps = 4;
+
+  struct InFlight {
+    ReplRecord record;
+    uint64_t attempts = 0;
+    uint64_t last_sent_pump = 0;
+  };
+  struct PeerState {
+    uint64_t epoch = 0;
+    uint64_t next_seq = 1;
+    uint64_t pump_count = 0;
+    // Shipping cursor: largest batch tn handed to this peer.
+    TxnNumber shipped_tn = 0;
+    // Largest horizon handed to this peer (>= shipped_tn; horizon-only
+    // records advance it past the last batch, e.g. over aborted txns).
+    TxnNumber shipped_horizon = 0;
+    std::map<uint64_t, InFlight> in_flight;  // seq -> unacked record
+    // Set on crash detection or truncation overrun; cleared only once
+    // the checkpoint image was actually delivered.
+    bool resync_pending = true;  // bootstrap ships an initial image
+  };
+
+  size_t PumpPeer(size_t i);
+  bool TryResync(Replica* replica, PeerState* peer);
+
+  Database* const primary_;
+  SimulatedNetwork* const network_;
+  std::vector<Replica*> replicas_;
+  std::vector<PeerState> peers_;
+  StreamStats stats_;
+};
+
+}  // namespace repl
+}  // namespace mvcc
+
+#endif  // MVCC_REPL_REPLICATION_STREAM_H_

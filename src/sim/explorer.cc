@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -11,6 +12,9 @@
 #include "dist/distributed_db.h"
 #include "history/serializability.h"
 #include "recovery/recovery.h"
+#include "repl/read_router.h"
+#include "repl/replica.h"
+#include "repl/replication_stream.h"
 
 namespace mvcc {
 namespace sim {
@@ -413,6 +417,226 @@ SimReport ExploreDistributedOnce(const DistExploreOptions& options) {
             << (got.ok() ? std::to_string(got->version)
                          : got.status().ToString());
         sched.AddViolation(out.str());
+      }
+    }
+  }
+  return report;
+}
+
+SimReport ExploreReplicationOnce(const ReplExploreOptions& options) {
+  DatabaseOptions dopt;
+  dopt.protocol = options.protocol;
+  dopt.preload_keys = options.keys;
+  dopt.record_history = true;
+  dopt.enable_wal = true;  // the stream tails the log
+  Database db(dopt);
+
+  SimulatedNetwork network;
+  std::vector<std::unique_ptr<repl::Replica>> replica_owner;
+  std::vector<repl::Replica*> replicas;
+  for (int i = 0; i < options.replicas; ++i) {
+    replica_owner.push_back(
+        std::make_unique<repl::Replica>(i, &network, db.history()));
+    replicas.push_back(replica_owner.back().get());
+  }
+  repl::ReplicationStream stream(&db, &network, replicas);
+  repl::ReadRouter router(&db, replicas, options.staleness_budget);
+
+  SimScheduler::Options sopt;
+  sopt.seed = options.seed;
+  sopt.max_steps = options.max_steps;
+  sopt.faults = options.faults;
+  // The primary must survive the run: convergence is checked against its
+  // final state. Replica crashes are injected by the chaos task instead.
+  sopt.faults.crash_at_wal_append = -1;
+  SimScheduler sched(sopt);
+
+  std::atomic<uint64_t> commits{0};
+  std::atomic<uint64_t> aborts{0};
+  std::atomic<int> writers_done{0};
+  std::atomic<bool> chaos_done{options.replica_crashes == 0 &&
+                               options.wal_truncations == 0};
+  std::atomic<bool> repl_done{false};
+
+  for (int w = 0; w < options.writer_tasks; ++w) {
+    sched.Spawn(
+        "writer" + std::to_string(w), /*expect_wait_free=*/false,
+        [&, w] {
+          Random rng(DeriveTaskSeed(options.seed, 0x100 + w));
+          for (int t = 0; t < options.txns_per_task; ++t) {
+            if (sched.Killed()) break;
+            auto txn = db.Begin(TxnClass::kReadWrite);
+            bool doomed = false;
+            for (int op = 0; op < options.ops_per_txn; ++op) {
+              SimSchedulePoint("task.op");
+              const ObjectKey key = rng.Uniform(options.keys);
+              if (rng.Bernoulli(options.write_fraction)) {
+                if (!txn->Write(key, ValueFor(w, t, op)).ok()) {
+                  doomed = true;
+                  break;
+                }
+              } else if (!txn->Read(key).ok()) {
+                doomed = true;
+                break;
+              }
+            }
+            if (doomed || !txn->active()) {
+              aborts.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            if (rng.Bernoulli(options.user_abort_probability)) {
+              txn->Abort();
+              aborts.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            if (txn->Commit().ok()) {
+              commits.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              aborts.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+          writers_done.fetch_add(1, std::memory_order_release);
+        });
+  }
+
+  // Routed read-only transactions must be wait-free wherever they land:
+  // replica-served reads are pure snapshot reads, and primary fallback is
+  // the Figure 2 path.
+  const bool wait_free_readers = IsVcProtocol(options.protocol);
+  for (int r = 0; r < options.reader_tasks; ++r) {
+    sched.Spawn(
+        "rreader" + std::to_string(r), wait_free_readers, [&, r] {
+          Random rng(DeriveTaskSeed(options.seed, 0x200 + r));
+          for (int t = 0; t < options.txns_per_task; ++t) {
+            if (sched.Killed()) break;
+            repl::RoutedReadTxn txn = router.Begin();
+            for (int op = 0; op < options.ops_per_txn; ++op) {
+              SimSchedulePoint("task.op");
+              if (rng.Bernoulli(options.scan_fraction)) {
+                const ObjectKey lo = rng.Uniform(options.keys);
+                const ObjectKey hi =
+                    std::min<ObjectKey>(lo + 3, options.keys - 1);
+                if (!txn.Scan(lo, hi).ok()) {
+                  sched.AddViolation("routed snapshot scan failed");
+                }
+              } else if (!txn.Read(rng.Uniform(options.keys)).ok()) {
+                // Every key is preloaded, so version <= snapshot always
+                // exists — on the primary AND on any seeded replica.
+                sched.AddViolation("routed snapshot read failed");
+              }
+            }
+            txn.Commit();
+          }
+        });
+  }
+
+  if (options.replicas > 0) {
+    // Chaos: a seed-determined interleaving of replica crashes and WAL
+    // truncations (each truncation under a fresh checkpoint, racing the
+    // stream's tail cursor).
+    if (!chaos_done.load(std::memory_order_relaxed)) {
+      sched.Spawn("chaos", /*expect_wait_free=*/false, [&] {
+        Random rng(DeriveTaskSeed(options.seed, 0x500));
+        int crashes_left = options.replica_crashes;
+        int truncations_left = options.wal_truncations;
+        while ((crashes_left > 0 || truncations_left > 0) &&
+               !sched.Killed()) {
+          // Let the deployment make some progress between actions.
+          for (uint64_t i = 0, n = 1 + rng.Uniform(4); i < n; ++i) {
+            SimSchedulePoint("repl.chaos");
+          }
+          const bool do_crash =
+              crashes_left > 0 &&
+              (truncations_left == 0 || rng.Bernoulli(0.5));
+          if (do_crash) {
+            replicas[rng.Uniform(replicas.size())]->Crash();
+            --crashes_left;
+          } else {
+            const Checkpoint cp = TakeCheckpoint(&db);
+            db.wal()->Truncate(cp.vtnc);
+            --truncations_left;
+          }
+        }
+        chaos_done.store(true, std::memory_order_release);
+      });
+    }
+
+    // Shipper: pumps until the workload and chaos are over AND every
+    // replica has acknowledged everything up to the final vtnc. Each
+    // pump yields non-blocked at repl.ship, which keeps the scheduler's
+    // deadlock accounting live while appliers idle.
+    sched.Spawn("shipper", /*expect_wait_free=*/false, [&] {
+      while (!sched.Killed()) {
+        stream.PumpOnce();
+        if (writers_done.load(std::memory_order_acquire) ==
+                options.writer_tasks &&
+            chaos_done.load(std::memory_order_acquire) &&
+            stream.CaughtUp()) {
+          break;
+        }
+      }
+      repl_done.store(true, std::memory_order_release);
+    });
+
+    for (int i = 0; i < options.replicas; ++i) {
+      sched.Spawn("applier" + std::to_string(i),
+                  /*expect_wait_free=*/false, [&, i] {
+                    while (!repl_done.load(std::memory_order_acquire) &&
+                           !sched.Killed()) {
+                      if (replicas[i]->ApplyOnce() == 0) {
+                        SimBlockedPoint("repl.apply.idle");
+                      }
+                    }
+                  });
+    }
+  }
+
+  sched.Run();
+
+  SimReport& report = sched.report();
+  report.commits = commits.load();
+  report.aborts = aborts.load();
+
+  const std::vector<TxnRecord> records = db.history()->Records();
+  CheckHistoryOracle(*db.history(), &sched);
+  CheckVcQuiesced(db.version_control(), MaxCommittedTn(records), "vc",
+                  &sched);
+
+  // Convergence: after quiesce every replica must have been re-seeded if
+  // it crashed, reached the primary's final horizon, and hold the exact
+  // primary state at that horizon — version numbers and bytes.
+  if (report.violations.empty()) {
+    const TxnNumber vtnc = db.version_control().vtnc();
+    for (int i = 0; i < options.replicas; ++i) {
+      const std::string label = "replica" + std::to_string(i);
+      if (!replicas[i]->Serviceable()) {
+        sched.AddViolation(label + ": not serviceable at quiesce");
+        continue;
+      }
+      if (replicas[i]->Horizon() != vtnc) {
+        sched.AddViolation(label + ": horizon " +
+                           std::to_string(replicas[i]->Horizon()) +
+                           " != final vtnc " + std::to_string(vtnc));
+        continue;
+      }
+      for (ObjectKey key = 0; key < options.keys; ++key) {
+        VersionChain* chain = db.store().Find(key);
+        if (chain == nullptr) continue;
+        const Result<VersionRead> want = chain->Read(vtnc);
+        const Result<VersionRead> got = replicas[i]->SnapshotRead(vtnc, key);
+        if (!want.ok() || !got.ok() || want->version != got->version ||
+            want->value != got->value) {
+          std::ostringstream out;
+          out << label << ": key " << key << " diverged at vtnc " << vtnc
+              << " (primary "
+              << (want.ok() ? std::to_string(want->version)
+                            : want.status().ToString())
+              << ", replica "
+              << (got.ok() ? std::to_string(got->version)
+                           : got.status().ToString())
+              << ")";
+          sched.AddViolation(out.str());
+        }
       }
     }
   }

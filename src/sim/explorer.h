@@ -75,6 +75,50 @@ struct DistExploreOptions {
 
 SimReport ExploreDistributedOnce(const DistExploreOptions& options);
 
+// One simulated execution over a replicated deployment (src/repl/): a
+// primary Database ships committed batches to N replicas over the
+// simulated network while routed read-only transactions are served from
+// replica snapshots under a staleness budget. Chaos actions crash
+// replicas (losing all volatile state) and truncate the primary's WAL
+// under a checkpoint (forcing the tailing overrun / resync path), on top
+// of the usual message drops and delays. Checks: MVSG one-copy
+// serializability and the lemmas over the MERGED history (primary
+// read-write + primary and replica read-only), vtnc invariants at
+// quiesce, routed-reader wait-freedom, and full convergence — every
+// replica serviceable, at the primary's final vtnc, with byte-identical
+// per-key state.
+struct ReplExploreOptions {
+  ProtocolKind protocol = ProtocolKind::kVc2pl;
+  uint64_t seed = 1;
+
+  int replicas = 2;
+  int writer_tasks = 2;
+  int reader_tasks = 2;
+  int txns_per_task = 4;
+  int ops_per_txn = 3;
+  uint64_t keys = 8;
+  double write_fraction = 0.7;
+  double scan_fraction = 0.15;
+  double user_abort_probability = 0.1;
+
+  // Largest visibility lag (vtnc - rvtnc, in transaction numbers) a
+  // replica may have and still serve routed reads.
+  TxnNumber staleness_budget = 4;
+
+  // Chaos schedule: how many times a (seed-chosen) replica crashes and
+  // how many times the WAL is truncated under a fresh checkpoint while
+  // the stream is tailing it.
+  int replica_crashes = 0;
+  int wal_truncations = 0;
+
+  // crash_at_wal_append is ignored here (forced off): the primary must
+  // outlive the run for convergence to be checkable.
+  FaultPlan faults;
+  uint64_t max_steps = 2'000'000;
+};
+
+SimReport ExploreReplicationOnce(const ReplExploreOptions& options);
+
 // Deterministic per-task seed derivation (SplitMix64 over seed ^ salt),
 // so adding a task never perturbs the streams of existing tasks.
 uint64_t DeriveTaskSeed(uint64_t seed, uint64_t salt);

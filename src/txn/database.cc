@@ -69,18 +69,19 @@ Database::Database(DatabaseOptions options)
   if (options_.preload_keys > 0) {
     store_.Preload(options_.preload_keys, options_.initial_value);
   }
+  if (options_.enable_wal) {
+    wal_ = std::make_unique<WriteAheadLog>();
+  }
   ProtocolEnv env;
   env.store = &store_;
   env.vc = &vc_;
   env.counters = &counters_;
+  env.wal = wal_.get();
   env.install_pause_ns = options_.install_pause_ns;
   protocol_ = MakeProtocol(options_, env);
   assert(protocol_ != nullptr);
   if (options_.enable_gc) {
     gc_ = std::make_unique<GarbageCollector>(&store_, &vc_, &readers_);
-  }
-  if (options_.enable_wal) {
-    wal_ = std::make_unique<WriteAheadLog>();
   }
 }
 
@@ -260,7 +261,11 @@ Status Database::DoCommit(TxnState* state) {
         if (chain != nullptr) chain->Prune(watermark);
       }
     }
-    if (wal_ != nullptr && !state->write_order.empty()) {
+    // VC protocols already appended their commit batch inside Commit(),
+    // before VCcomplete (write-ahead of visibility; see LogCommitBatch).
+    // The baselines have no VC completion point, so log them here.
+    if (wal_ != nullptr && !protocol_->ReadOnlyBypass() &&
+        !state->write_order.empty()) {
       CommitBatch batch;
       batch.txn = state->id;
       batch.tn = state->tn;

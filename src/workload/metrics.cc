@@ -14,4 +14,14 @@ std::string RunResult::Summary() const {
   return os.str();
 }
 
+std::string ReplicationStats::Summary() const {
+  std::ostringstream os;
+  os << "shipped=" << records_shipped << " retx=" << retransmits
+     << " drops=" << send_drops << " resyncs=" << resyncs
+     << " applied=" << batches_applied << " crashes=" << replica_crashes
+     << " reads(replica=" << reads_to_replica
+     << " primary=" << reads_to_primary << ") max_lag=" << max_served_lag;
+  return os.str();
+}
+
 }  // namespace mvcc

@@ -45,6 +45,44 @@ struct RunResult {
   std::string Summary() const;
 };
 
+// Aggregated outcome of one replication run (src/repl/): shipping-side,
+// apply-side and routing-side counters plus the derived lag/rate figures
+// reported by bench_replication. Collected by repl::CollectReplicationStats
+// so this header stays free of replication types.
+struct ReplicationStats {
+  // Shipping (primary side).
+  uint64_t records_shipped = 0;
+  uint64_t retransmits = 0;
+  uint64_t send_drops = 0;
+  uint64_t resyncs = 0;
+
+  // Apply (summed over replicas).
+  uint64_t records_applied = 0;
+  uint64_t batches_applied = 0;
+  uint64_t replica_crashes = 0;
+
+  // Routing.
+  uint64_t reads_to_replica = 0;
+  uint64_t reads_to_primary = 0;
+  uint64_t max_served_lag = 0;  // worst vtnc - rvtnc served, in txns
+
+  double seconds = 0.0;
+
+  // Committed batches applied per second across all replicas.
+  double ApplyRate() const {
+    return seconds > 0 ? static_cast<double>(batches_applied) / seconds : 0.0;
+  }
+  // Share of read-only transactions the primary never saw.
+  double ReplicaReadFraction() const {
+    const uint64_t total = reads_to_replica + reads_to_primary;
+    return total == 0 ? 0.0
+                      : static_cast<double>(reads_to_replica) / total;
+  }
+
+  // One-line summary for logs.
+  std::string Summary() const;
+};
+
 }  // namespace mvcc
 
 #endif  // MVCC_WORKLOAD_METRICS_H_

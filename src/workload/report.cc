@@ -1,7 +1,9 @@
 #include "workload/report.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <sstream>
 #include <utility>
@@ -73,6 +75,76 @@ void Table::Print(std::ostream& os) const {
   os << '\n';
   for (const auto& row : rows_) print_row(row);
   os.flush();
+}
+
+namespace {
+
+// True when the whole cell is one JSON-representable number (what
+// Table::Num produces); such cells are emitted unquoted.
+bool IsJsonNumber(const std::string& cell) {
+  if (cell.empty()) return false;
+  size_t pos = 0;
+  if (cell[0] == '-') pos = 1;
+  bool digits = false, dot = false;
+  for (; pos < cell.size(); ++pos) {
+    const char c = cell[pos];
+    if (c >= '0' && c <= '9') {
+      digits = true;
+    } else if (c == '.' && !dot && digits) {
+      dot = true;
+    } else {
+      return false;
+    }
+  }
+  // "1." is not valid JSON.
+  return digits && cell.back() != '.';
+}
+
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::PrintJson(std::ostream& os) const {
+  os << "[\n";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    os << "  {";
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      if (i != 0) os << ", ";
+      const std::string& cell = rows_[r][i];
+      os << JsonString(headers_[i]) << ": "
+         << (IsJsonNumber(cell) ? cell : JsonString(cell));
+    }
+    os << (r + 1 < rows_.size() ? "},\n" : "}\n");
+  }
+  os << "]\n";
+  os.flush();
+}
+
+bool Table::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  PrintJson(out);
+  return static_cast<bool>(out);
 }
 
 std::string Table::Num(uint64_t v) { return std::to_string(v); }

@@ -21,6 +21,15 @@ class Table {
   void Print(std::ostream& os) const;
   void PrintCsv(std::ostream& os) const;
 
+  // JSON array of row objects keyed by the header strings. Cells that
+  // parse fully as numbers are emitted as JSON numbers, everything else
+  // as strings — so downstream tooling reads benchmark figures without
+  // re-parsing.
+  void PrintJson(std::ostream& os) const;
+
+  // PrintJson to `path`; false (with the table intact) on I/O failure.
+  bool WriteJsonFile(const std::string& path) const;
+
   // Cell formatting helpers.
   static std::string Num(uint64_t v);
   static std::string Num(double v, int decimals = 2);

@@ -76,13 +76,14 @@ TEST(WalTest, DeserializeRejectsCorruptImages) {
 TEST(CheckpointTest, SerializeRoundTrip) {
   Checkpoint ck;
   ck.vtnc = 42;
-  ck.entries.push_back(CheckpointEntry{1, 10, "a"});
-  ck.entries.push_back(CheckpointEntry{2, 42, ""});
+  ck.entries.push_back(CheckpointEntry{1, 10, 100, "a"});
+  ck.entries.push_back(CheckpointEntry{2, 42, 0, ""});
   auto restored = Checkpoint::Deserialize(ck.Serialize());
   ASSERT_TRUE(restored.ok());
   EXPECT_EQ(restored->vtnc, 42u);
   ASSERT_EQ(restored->entries.size(), 2u);
   EXPECT_EQ(restored->entries[0].value, "a");
+  EXPECT_EQ(restored->entries[0].writer, 100u);
   EXPECT_EQ(restored->entries[1].version, 42u);
 }
 

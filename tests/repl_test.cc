@@ -1,0 +1,349 @@
+// Read-only replica tier (src/repl/): WAL shipping, per-replica
+// visibility horizons, gap/duplicate/epoch handling in the apply loop,
+// crash + checkpoint resync, WAL-truncation resync, and staleness-budget
+// routing. No sim hook is installed here, so the network always
+// delivers — deterministic single-threaded protocol tests; the
+// adversarial schedules live in repl_property_test / bench_sim.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "recovery/recovery.h"
+#include "repl/read_router.h"
+#include "repl/repl_metrics.h"
+#include "repl/replica.h"
+#include "repl/replication_stream.h"
+#include "txn/database.h"
+
+namespace mvcc {
+namespace {
+
+constexpr uint64_t kKeys = 8;
+
+DatabaseOptions ReplOpts(ProtocolKind protocol = ProtocolKind::kVc2pl) {
+  DatabaseOptions opts;
+  opts.protocol = protocol;
+  opts.preload_keys = kKeys;
+  opts.enable_wal = true;
+  opts.record_history = true;
+  return opts;
+}
+
+// A full deployment under test: primary + N replicas + stream + router.
+struct Deployment {
+  explicit Deployment(int num_replicas,
+                      ProtocolKind protocol = ProtocolKind::kVc2pl,
+                      TxnNumber staleness_budget = 100)
+      : db(ReplOpts(protocol)) {
+    for (int i = 0; i < num_replicas; ++i) {
+      owner.push_back(
+          std::make_unique<repl::Replica>(i, &network, db.history()));
+      replicas.push_back(owner.back().get());
+    }
+    stream = std::make_unique<repl::ReplicationStream>(&db, &network,
+                                                       replicas);
+    router = std::make_unique<repl::ReadRouter>(&db, replicas,
+                                                staleness_budget);
+  }
+
+  // Pump/apply until quiescent. Two rounds minimum: acks sent during
+  // ApplyOnce are only pruned by the next pump.
+  bool Converge(int max_rounds = 50) {
+    for (int i = 0; i < max_rounds; ++i) {
+      stream->PumpOnce();
+      for (repl::Replica* r : replicas) r->ApplyOnce();
+      if (stream->CaughtUp()) return true;
+    }
+    return false;
+  }
+
+  Database db;
+  SimulatedNetwork network;
+  std::vector<std::unique_ptr<repl::Replica>> owner;
+  std::vector<repl::Replica*> replicas;
+  std::unique_ptr<repl::ReplicationStream> stream;
+  std::unique_ptr<repl::ReadRouter> router;
+};
+
+TEST(ReplicationStreamTest, ShipsCommittedBatchesAndConverges) {
+  Deployment d(2);
+  ASSERT_TRUE(d.Converge());  // bootstrap checkpoints seed at vtnc 0
+  ASSERT_TRUE(d.db.Put(1, "a").ok());
+  ASSERT_TRUE(d.db.Put(2, "b").ok());
+  ASSERT_TRUE(d.db.Put(1, "a2").ok());
+  ASSERT_TRUE(d.Converge());
+
+  const TxnNumber vtnc = d.db.version_control().vtnc();
+  EXPECT_EQ(vtnc, 3u);
+  for (repl::Replica* r : d.replicas) {
+    EXPECT_EQ(r->Horizon(), vtnc);
+    EXPECT_EQ(r->batches_applied(), 3u);
+    auto read1 = r->SnapshotRead(vtnc, 1);
+    ASSERT_TRUE(read1.ok());
+    EXPECT_EQ(read1->value, "a2");
+    auto read2 = r->SnapshotRead(vtnc, 2);
+    ASSERT_TRUE(read2.ok());
+    EXPECT_EQ(read2->value, "b");
+  }
+  // Shipping traffic flows in its own message categories; nothing else.
+  EXPECT_GT(d.network.Count(MessageType::kReplBatch), 0u);
+  EXPECT_GT(d.network.Count(MessageType::kReplAck), 0u);
+  EXPECT_EQ(d.network.Count(MessageType::kSnapshotRead), 0u);
+  EXPECT_EQ(d.network.Count(MessageType::kPrepare), 0u);
+}
+
+TEST(ReplicationStreamTest, ReplicaReadsCostZeroMessages) {
+  Deployment d(1);
+  ASSERT_TRUE(d.db.Put(3, "x").ok());
+  ASSERT_TRUE(d.Converge());
+
+  const uint64_t before = d.network.Total();
+  repl::ReplicaReadTxn txn = d.replicas[0]->BeginReadOnly();
+  auto value = txn.Read(3);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, "x");
+  auto scanned = txn.Scan(0, kKeys - 1);
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_EQ(scanned->size(), kKeys);
+  txn.Commit();
+  EXPECT_EQ(d.network.Total(), before);  // zero messages of ANY category
+}
+
+TEST(ReplicationStreamTest, HorizonOnlyRecordCoversBatchlessCommits) {
+  // A read-write transaction with an empty write set still completes its
+  // tn, so vtnc advances with no WAL batch behind it (aborts do not:
+  // Discard erases their tn outright). The stream must ship that horizon
+  // alone or replica snapshots would stall behind vtnc.
+  Deployment d(1, ProtocolKind::kVcTo);
+  ASSERT_TRUE(d.Converge());                       // bootstrap at vtnc 0
+  ASSERT_TRUE(d.db.Put(0, "committed").ok());      // tn 1, one batch
+  auto batchless = d.db.Begin(TxnClass::kReadWrite);  // tn 2
+  ASSERT_TRUE(batchless->Read(0).ok());
+  ASSERT_TRUE(batchless->Commit().ok());           // nothing to log
+  ASSERT_TRUE(d.Converge());
+
+  const TxnNumber vtnc = d.db.version_control().vtnc();
+  EXPECT_EQ(vtnc, 2u);
+  EXPECT_EQ(d.replicas[0]->Horizon(), vtnc);
+  EXPECT_EQ(d.replicas[0]->batches_applied(), 1u);   // only the commit
+  EXPECT_GE(d.replicas[0]->records_applied(), 2u);   // + horizon record
+  auto read = d.replicas[0]->SnapshotRead(vtnc, 0);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->value, "committed");
+  EXPECT_EQ(read->version, 1u);
+}
+
+TEST(ReplicaTest, AppliesOnlyContiguousSequencePrefix) {
+  SimulatedNetwork network;
+  repl::Replica replica(0, &network, nullptr);
+  Checkpoint cp;
+  cp.vtnc = 0;
+  replica.Resync(cp, /*epoch=*/1);
+
+  repl::ReplRecord r1{1, 1, 1, true, CommitBatch{7, 1, {{5, "one"}}}};
+  repl::ReplRecord r2{1, 2, 2, true, CommitBatch{8, 2, {{5, "two"}}}};
+
+  // Out-of-order delivery: seq 2 first. A gap means a batch might be
+  // missing, so the horizon must not move.
+  replica.Deliver(r2);
+  EXPECT_EQ(replica.ApplyOnce(), 0u);
+  EXPECT_EQ(replica.Horizon(), 0u);
+
+  replica.Deliver(r1);
+  EXPECT_EQ(replica.ApplyOnce(), 2u);  // gap closed: both apply, in order
+  EXPECT_EQ(replica.Horizon(), 2u);
+  auto read = replica.SnapshotRead(2, 5);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->value, "two");
+  EXPECT_EQ(replica.SnapshotRead(1, 5)->value, "one");
+}
+
+TEST(ReplicaTest, IgnoresDuplicatesAndStaleEpochs) {
+  SimulatedNetwork network;
+  repl::Replica replica(0, &network, nullptr);
+  Checkpoint cp;
+  replica.Resync(cp, /*epoch=*/2);
+
+  repl::ReplRecord rec{2, 1, 1, true, CommitBatch{7, 1, {{5, "one"}}}};
+  replica.Deliver(rec);
+  EXPECT_EQ(replica.ApplyOnce(), 1u);
+  // Retransmitted duplicate: already below the apply cursor.
+  replica.Deliver(rec);
+  EXPECT_EQ(replica.ApplyOnce(), 0u);
+  EXPECT_EQ(replica.batches_applied(), 1u);
+  // Leftover from a previous incarnation: wrong epoch.
+  repl::ReplRecord stale{1, 2, 9, true, CommitBatch{9, 9, {{5, "stale"}}}};
+  replica.Deliver(stale);
+  EXPECT_EQ(replica.ApplyOnce(), 0u);
+  EXPECT_EQ(replica.Horizon(), 1u);
+}
+
+TEST(ReplicaTest, CrashLosesStateAndResyncRestoresIt) {
+  Deployment d(2);
+  ASSERT_TRUE(d.db.Put(4, "before-crash").ok());
+  ASSERT_TRUE(d.Converge());
+
+  d.replicas[0]->Crash();
+  EXPECT_FALSE(d.replicas[0]->Serviceable());
+  EXPECT_EQ(d.replicas[0]->Horizon(), 0u);
+  // The survivor keeps serving; the router must skip the crashed one.
+  repl::RoutedReadTxn routed = d.router->Begin();
+  EXPECT_TRUE(routed.on_replica());
+  EXPECT_EQ(routed.replica_id(), 1);
+  routed.Commit();
+
+  ASSERT_TRUE(d.db.Put(4, "after-crash").ok());
+  ASSERT_TRUE(d.Converge());  // stream re-seeds replica 0 from checkpoint
+  EXPECT_TRUE(d.replicas[0]->Serviceable());
+  EXPECT_EQ(d.replicas[0]->Horizon(), d.db.version_control().vtnc());
+  EXPECT_EQ(d.replicas[0]->crashes(), 1u);
+  EXPECT_GE(d.replicas[0]->resyncs(), 2u);  // bootstrap + post-crash
+  auto read =
+      d.replicas[0]->SnapshotRead(d.db.version_control().vtnc(), 4);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->value, "after-crash");
+}
+
+TEST(ReplicationStreamTest, WalTruncationPastCursorForcesResync) {
+  Deployment d(1);
+  ASSERT_TRUE(d.db.Put(1, "one").ok());
+  ASSERT_TRUE(d.Converge());
+  const uint64_t resyncs_before = d.stream->stats().resyncs;
+
+  // New commits the stream has not shipped yet...
+  ASSERT_TRUE(d.db.Put(2, "two").ok());
+  ASSERT_TRUE(d.db.Put(3, "three").ok());
+  // ...then a checkpoint truncation races ahead of the shipping cursor.
+  const Checkpoint cp = TakeCheckpoint(&d.db);
+  d.db.wal()->Truncate(cp.vtnc);
+  ASSERT_GT(d.db.wal()->TruncatedUpTo(), 1u);
+
+  ASSERT_TRUE(d.Converge());
+  EXPECT_GT(d.stream->stats().resyncs, resyncs_before);
+  const TxnNumber vtnc = d.db.version_control().vtnc();
+  EXPECT_EQ(d.replicas[0]->Horizon(), vtnc);
+  EXPECT_EQ(d.replicas[0]->SnapshotRead(vtnc, 3)->value, "three");
+}
+
+TEST(ReadRouterTest, EnforcesStalenessBudgetWithPrimaryFallback) {
+  Deployment d(1, ProtocolKind::kVc2pl, /*staleness_budget=*/1);
+  ASSERT_TRUE(d.Converge());  // seed the replica at vtnc 0
+
+  // Three commits the replica has not applied: lag 3 > budget 1.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(d.db.Put(0, "v" + std::to_string(i)).ok());
+  }
+  repl::RoutedReadTxn stale = d.router->Begin();
+  EXPECT_FALSE(stale.on_replica());  // primary fallback
+  EXPECT_EQ(stale.snapshot(), d.db.version_control().vtnc());
+  auto exact = stale.Read(0);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(*exact, "v2");
+  stale.Commit();
+  EXPECT_EQ(d.router->reads_to_primary(), 1u);
+
+  ASSERT_TRUE(d.Converge());
+  repl::RoutedReadTxn fresh = d.router->Begin();
+  EXPECT_TRUE(fresh.on_replica());  // lag 0: back within budget
+  fresh.Commit();
+  EXPECT_EQ(d.router->reads_to_replica(), 1u);
+  EXPECT_LE(d.router->max_served_lag(), 1u);
+}
+
+TEST(ReadRouterTest, RoundRobinSpreadsLoadAcrossCaughtUpReplicas) {
+  Deployment d(3);
+  ASSERT_TRUE(d.db.Put(0, "x").ok());
+  ASSERT_TRUE(d.Converge());
+
+  std::vector<int> served(3, 0);
+  for (int i = 0; i < 12; ++i) {
+    repl::RoutedReadTxn txn = d.router->Begin();
+    ASSERT_TRUE(txn.on_replica());
+    ++served[txn.replica_id()];
+    txn.Commit();
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(served[i], 4) << "replica " << i;  // perfect rotation
+  }
+}
+
+TEST(ReadRouterTest, BeginAtLeastHonorsCurrencyFloor) {
+  Deployment d(1);
+  ASSERT_TRUE(d.Converge());  // replica seeded at horizon 0
+  ASSERT_TRUE(d.db.Put(2, "current").ok());
+  const TxnNumber target = d.db.version_control().vtnc();
+
+  // The replica is below the floor: the router must not serve a stale
+  // snapshot, budget or not.
+  repl::RoutedReadTxn txn = d.router->BeginAtLeast(target);
+  EXPECT_FALSE(txn.on_replica());
+  EXPECT_GE(txn.snapshot(), target);
+  auto read = txn.Read(2);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "current");
+  txn.Commit();
+
+  ASSERT_TRUE(d.Converge());
+  repl::RoutedReadTxn after = d.router->BeginAtLeast(target);
+  EXPECT_TRUE(after.on_replica());  // now at the floor: replica-served
+  after.Commit();
+}
+
+TEST(ReplicaTest, ReadsAreRecordedIntoTheSharedHistory) {
+  Deployment d(1);
+  ASSERT_TRUE(d.db.Put(6, "logged").ok());
+  ASSERT_TRUE(d.Converge());
+  const size_t before = d.db.history()->size();
+
+  repl::ReplicaReadTxn txn = d.replicas[0]->BeginReadOnly();
+  ASSERT_TRUE(txn.Read(6).ok());
+  txn.Commit();
+
+  const std::vector<TxnRecord> records = d.db.history()->Records();
+  ASSERT_EQ(records.size(), before + 1);
+  const TxnRecord& rec = records.back();
+  EXPECT_EQ(rec.cls, TxnClass::kReadOnly);
+  EXPECT_EQ(rec.number, d.replicas[0]->Horizon());
+  ASSERT_EQ(rec.reads.size(), 1u);
+  EXPECT_EQ(rec.reads[0].key, 6u);
+  EXPECT_GT(rec.id, 1ULL << 48);  // replica id space, no primary clash
+}
+
+TEST(ReplicaTest, InFlightReaderSurvivesCrash) {
+  Deployment d(1);
+  ASSERT_TRUE(d.db.Put(5, "pinned").ok());
+  ASSERT_TRUE(d.Converge());
+
+  repl::ReplicaReadTxn txn = d.replicas[0]->BeginReadOnly();
+  const TxnNumber sn = txn.snapshot();
+  d.replicas[0]->Crash();  // swaps in a fresh store
+  // The reader still holds the pre-crash store: same snapshot, same data.
+  auto read = txn.Read(5);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "pinned");
+  EXPECT_EQ(txn.snapshot(), sn);
+  txn.Commit();
+}
+
+TEST(ReplMetricsTest, CollectorAggregatesAllSides) {
+  Deployment d(2);
+  ASSERT_TRUE(d.Converge());  // bootstrap first so the batch ships
+  ASSERT_TRUE(d.db.Put(1, "m").ok());
+  ASSERT_TRUE(d.Converge());
+  d.router->Begin().Commit();
+
+  const ReplicationStats stats = repl::CollectReplicationStats(
+      *d.stream, d.replicas, d.router.get(), /*seconds=*/2.0);
+  EXPECT_GE(stats.records_shipped, 2u);  // one batch x two replicas
+  EXPECT_EQ(stats.batches_applied, 2u);
+  EXPECT_EQ(stats.resyncs, 2u);  // both bootstraps
+  EXPECT_EQ(stats.reads_to_replica + stats.reads_to_primary, 1u);
+  EXPECT_GT(stats.ApplyRate(), 0.0);
+  EXPECT_FALSE(stats.Summary().empty());
+}
+
+}  // namespace
+}  // namespace mvcc

@@ -1,0 +1,115 @@
+// WriteAheadLog::BatchesSince — the incremental tail replication rides
+// on — and its interaction with Truncate/MaxTn: tailing across a
+// truncation gap must be refused (the caller resyncs from the covering
+// checkpoint), never silently skipped.
+
+#include "recovery/wal.h"
+
+#include <gtest/gtest.h>
+
+namespace mvcc {
+namespace {
+
+CommitBatch Batch(TxnId txn, TxnNumber tn, ObjectKey key) {
+  return CommitBatch{txn, tn, {{key, "v" + std::to_string(tn)}}};
+}
+
+TEST(WalTailingTest, EmptyLogYieldsEmptyTail) {
+  WriteAheadLog log;
+  auto tail = log.BatchesSince(0);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_TRUE(tail->empty());
+}
+
+TEST(WalTailingTest, ReturnsOnlyBatchesPastTheCursor) {
+  WriteAheadLog log;
+  log.Append(Batch(1, 1, 10));
+  log.Append(Batch(2, 2, 11));
+  log.Append(Batch(3, 3, 12));
+  auto tail = log.BatchesSince(1);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail->size(), 2u);
+  EXPECT_EQ((*tail)[0].tn, 2u);
+  EXPECT_EQ((*tail)[1].tn, 3u);
+  // Cursor at the head: the whole log.
+  EXPECT_EQ(log.BatchesSince(0)->size(), 3u);
+  // Cursor at the tail: nothing.
+  EXPECT_TRUE(log.BatchesSince(3)->empty());
+}
+
+TEST(WalTailingTest, SortsOutOfOrderAppendsByTn) {
+  // TO/OCC writers may commit out of tn order, so appends arrive out of
+  // order; the tail must come back ascending (replicas apply in tn
+  // order, seq = position in this ordering).
+  WriteAheadLog log;
+  log.Append(Batch(6, 6, 1));
+  log.Append(Batch(4, 4, 2));
+  log.Append(Batch(5, 5, 3));
+  auto tail = log.BatchesSince(3);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail->size(), 3u);
+  EXPECT_EQ((*tail)[0].tn, 4u);
+  EXPECT_EQ((*tail)[1].tn, 5u);
+  EXPECT_EQ((*tail)[2].tn, 6u);
+}
+
+TEST(WalTailingTest, TruncationBelowCursorIsRefused) {
+  WriteAheadLog log;
+  for (TxnNumber tn = 1; tn <= 6; ++tn) log.Append(Batch(tn, tn, tn));
+  log.Truncate(4);  // checkpoint covered tn <= 4
+  EXPECT_EQ(log.TruncatedUpTo(), 4u);
+
+  // A cursor below the watermark cannot tell whether (cursor, 4] held
+  // batches that are now gone — kUnavailable forces the resync path.
+  for (TxnNumber cursor : {0u, 1u, 3u}) {
+    auto tail = log.BatchesSince(cursor);
+    EXPECT_FALSE(tail.ok()) << "cursor " << cursor;
+    EXPECT_TRUE(tail.status().IsUnavailable()) << tail.status().ToString();
+  }
+
+  // Boundary: a cursor exactly at the watermark is safe — everything at
+  // or below it is covered by the checkpoint the truncation mirrored.
+  auto at_watermark = log.BatchesSince(4);
+  ASSERT_TRUE(at_watermark.ok());
+  ASSERT_EQ(at_watermark->size(), 2u);
+  EXPECT_EQ((*at_watermark)[0].tn, 5u);
+  EXPECT_EQ((*at_watermark)[1].tn, 6u);
+}
+
+TEST(WalTailingTest, WatermarkIsMonotoneAcrossTruncations) {
+  WriteAheadLog log;
+  for (TxnNumber tn = 1; tn <= 8; ++tn) log.Append(Batch(tn, tn, tn));
+  log.Truncate(5);
+  log.Truncate(3);  // stale checkpoint must not lower the watermark
+  EXPECT_EQ(log.TruncatedUpTo(), 5u);
+  EXPECT_FALSE(log.BatchesSince(4).ok());
+  EXPECT_TRUE(log.BatchesSince(5).ok());
+}
+
+TEST(WalTailingTest, MaxTnSurvivesTruncation) {
+  WriteAheadLog log;
+  for (TxnNumber tn = 1; tn <= 5; ++tn) log.Append(Batch(tn, tn, tn));
+  EXPECT_EQ(log.MaxTn(), 5u);
+  log.Truncate(5);  // whole log covered: empty, but the durable frontier
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.MaxTn(), 5u);  // recovery still knows how far we got
+  // Tailing from the frontier works and is empty; below it is refused.
+  EXPECT_TRUE(log.BatchesSince(5)->empty());
+  EXPECT_FALSE(log.BatchesSince(2).ok());
+}
+
+TEST(WalTailingTest, TailingResumesPastTruncationAfterNewAppends) {
+  WriteAheadLog log;
+  for (TxnNumber tn = 1; tn <= 3; ++tn) log.Append(Batch(tn, tn, tn));
+  log.Truncate(3);
+  log.Append(Batch(4, 4, 40));
+  log.Append(Batch(5, 5, 50));
+  auto tail = log.BatchesSince(3);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail->size(), 2u);
+  EXPECT_EQ((*tail)[0].tn, 4u);
+  EXPECT_EQ((*tail)[1].writes[0].key, 50u);
+}
+
+}  // namespace
+}  // namespace mvcc
