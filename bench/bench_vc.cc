@@ -1,0 +1,149 @@
+// VC core microbenchmark: Register/Complete/Discard throughput against
+// thread count, locked (mutex + std::map VCQueue) core vs the lock-free
+// completion-ring core.
+//
+// Claim measured: the ring core scales with writers where the single
+// mutex flatlines — Register is one fetch_add, Complete/Discard are one
+// release store plus a CAS drain, and no thread ever takes mu_ on the
+// hot path. The locked core serializes every call, so its aggregate
+// throughput is roughly constant (or worse, cache-ping-pong declining)
+// as threads are added.
+//
+// Each worker loops: tn = Register(id); then Complete(tn) (7/8 of the
+// time) or Discard(tn) (1/8 — aborts exercise the drain's
+// discarded-slot path). Throughput = resolved registrations / second,
+// summed over workers.
+//
+// Writes BENCH_vc.json via the shared report machinery.
+//
+// `--smoke` runs a reduced pass (locked @ 1 thread vs ring @ 8 threads,
+// 100ms each) and exits nonzero if the ring at 8 threads fails to beat
+// the single-thread locked baseline — the CI regression tripwire.
+
+#include <atomic>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "vc/version_control.h"
+#include "workload/report.h"
+
+namespace {
+
+using namespace mvcc;
+
+struct VcBenchResult {
+  double ops_per_sec = 0;
+  uint64_t ops = 0;
+  uint64_t discards = 0;
+  TxnNumber final_vtnc = 0;
+};
+
+VcBenchResult RunConfig(bool ring, int threads, int64_t run_ns) {
+  VersionControl vc(NumberingMode::kDense, /*force_locked_core=*/!ring);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> total_ops{0};
+  std::atomic<uint64_t> total_discards{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+
+  const int64_t start = NowNanos();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Random rng(1000 + t);
+      uint64_t ops = 0;
+      uint64_t discards = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const TxnNumber tn = vc.Register(/*txn=*/TxnId(t) + 1);
+        if ((rng.Next() & 7) == 0) {
+          vc.Discard(tn);
+          ++discards;
+        } else {
+          vc.Complete(tn);
+        }
+        ++ops;
+      }
+      total_ops.fetch_add(ops, std::memory_order_relaxed);
+      total_discards.fetch_add(discards, std::memory_order_relaxed);
+    });
+  }
+
+  while (NowNanos() - start < run_ns) std::this_thread::yield();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : workers) w.join();
+  const double seconds = static_cast<double>(NowNanos() - start) / 1e9;
+
+  VcBenchResult out;
+  out.ops = total_ops.load();
+  out.discards = total_discards.load();
+  out.ops_per_sec = out.ops / seconds;
+  out.final_vtnc = vc.vtnc();
+  return out;
+}
+
+int RunSmoke() {
+  // CI tripwire, not a measurement: the ring at 8 threads must at least
+  // match one thread hammering the global mutex. A failure here means
+  // the lock-free path has re-grown a serialization point.
+  constexpr int64_t kSmokeNanos = 100 * 1000 * 1000;
+  const VcBenchResult locked1 = RunConfig(/*ring=*/false, 1, kSmokeNanos);
+  const VcBenchResult ring8 = RunConfig(/*ring=*/true, 8, kSmokeNanos);
+  std::cout << "smoke: locked@1 " << static_cast<uint64_t>(locked1.ops_per_sec)
+            << " ops/s, ring@8 " << static_cast<uint64_t>(ring8.ops_per_sec)
+            << " ops/s\n";
+  if (ring8.ops_per_sec < locked1.ops_per_sec) {
+    std::cout << "FAIL: ring core at 8 threads is slower than the "
+                 "single-thread locked baseline\n";
+    return 1;
+  }
+  std::cout << "OK\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return RunSmoke();
+  }
+
+  constexpr int64_t kRunNanos = 200 * 1000 * 1000;  // 200ms per config
+  std::cout << "VC core: Register/Complete/Discard throughput, locked\n"
+               "(mutex + map) core vs lock-free completion ring, 200ms\n"
+               "per config, 1/8 of registrations discarded.\n\n";
+
+  Table table({"core", "threads", "ops/s", "speedup_vs_1T", "discards"});
+  for (const bool ring : {false, true}) {
+    double base = 0;
+    for (int threads : {1, 2, 4, 8, 16}) {
+      const VcBenchResult r = RunConfig(ring, threads, kRunNanos);
+      if (threads == 1) base = r.ops_per_sec;
+      table.AddRow({std::string(ring ? "ring" : "locked"),
+                    Table::Num(uint64_t(threads)),
+                    Table::Num(r.ops_per_sec, 0),
+                    Table::Num(base > 0 ? r.ops_per_sec / base : 0.0, 2),
+                    Table::Num(r.discards)});
+    }
+  }
+
+  table.Print(std::cout);
+  const std::string json = "BENCH_vc.json";
+  if (table.WriteJsonFile(json)) {
+    std::cout << "\nwrote " << json << "\n";
+  } else {
+    std::cout << "\nfailed to write " << json << "\n";
+  }
+  std::cout << "\nexpected shape: the locked core's aggregate ops/s\n"
+               "collapses as threads are added — every call funnels through\n"
+               "one mutex and the waiters convoy (futex round trips). The\n"
+               "ring core holds its throughput under the same\n"
+               "oversubscription, and on a multi-core box climbs with the\n"
+               "thread count: no call takes mu_, so added threads cost\n"
+               "cache traffic, not serialization.\n";
+  return 0;
+}

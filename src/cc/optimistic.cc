@@ -111,28 +111,26 @@ Status Optimistic::Commit(TxnState* txn) {
     data->start_serial = serial;  // reuse: our own serial, for finish
   }
 
-  // Install outside the critical section.
-  for (ObjectKey key : txn->write_order) {
-    MaybePauseInstall(env_);
-    env_.store->GetOrCreate(key)->Install(
-        Version{txn->tn, txn->write_set[key], txn->id});
-  }
-
-  {
-    std::lock_guard<std::mutex> guard(mu_);
-    const uint64_t index = data->start_serial - log_base_ - 1;
-    log_[index].finished = true;
-    // Advance the finished watermark over the finished prefix.
-    while (finished_watermark_ - log_base_ < log_.size() &&
-           log_[finished_watermark_ - log_base_].finished) {
-      ++finished_watermark_;
-    }
-    TrimLogLocked();
-  }
-
-  LogCommitBatch(env_, *txn);
-  env_.vc->Complete(txn->tn);
+  // The shared pipeline installs outside the critical section, makes
+  // the batch durable (group commit), retires the validation-log entry
+  // (BeforeComplete) and completes with version control. Delaying the
+  // retirement until after durability only keeps our entry visible to
+  // concurrent validators a little longer — strictly conservative.
+  env_.pipeline->Commit(txn, this);
   return Status::OK();
+}
+
+void Optimistic::BeforeComplete(TxnState* txn) {
+  auto* data = static_cast<OccData*>(txn->cc_data.get());
+  std::lock_guard<std::mutex> guard(mu_);
+  const uint64_t index = data->start_serial - log_base_ - 1;
+  log_[index].finished = true;
+  // Advance the finished watermark over the finished prefix.
+  while (finished_watermark_ - log_base_ < log_.size() &&
+         log_[finished_watermark_ - log_base_].finished) {
+    ++finished_watermark_;
+  }
+  TrimLogLocked();
 }
 
 void Optimistic::Abort(TxnState* txn) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cc/protocol.h"
+#include "txn/commit_pipeline.h"
 
 namespace mvcc {
 
@@ -31,7 +32,7 @@ namespace mvcc {
 //
 // Read-only transactions never reach this class (ReadOnlyBypass): the
 // very motivation of [1, 2] was eliminating their validation overhead.
-class Optimistic : public Protocol {
+class Optimistic : public Protocol, public CommitParticipant {
  public:
   explicit Optimistic(ProtocolEnv env);
 
@@ -50,6 +51,11 @@ class Optimistic : public Protocol {
   // writer's write set).
   Result<std::vector<std::pair<ObjectKey, VersionRead>>> Scan(
       TxnState* txn, ObjectKey lo, ObjectKey hi) override;
+
+  // CommitParticipant: after the batch is durable and before
+  // visibility, retire the validation-log entry (mark installs finished,
+  // advance the finished watermark, trim the log).
+  void BeforeComplete(TxnState* txn) override;
 
   // Number of write sets currently retained for validation (test hook).
   size_t ValidationLogSize() const;

@@ -1,34 +1,8 @@
 #include "cc/protocol.h"
 
-#include "common/clock.h"
-#include "common/sim_hook.h"
-#include "recovery/wal.h"
+// The commit epilogue that used to live here (MaybePauseInstall /
+// LogCommitBatch, duplicated into every VC protocol's Commit body) moved
+// into the shared CommitPipeline (txn/commit_pipeline.{h,cc}). This
+// translation unit anchors the Protocol interface in the build.
 
-namespace mvcc {
-
-void MaybePauseInstall(const ProtocolEnv& env) {
-  // Under simulation the interleaving point IS the pause: the scheduler
-  // may run other tasks inside the partially-installed commit window.
-  // Call sites sit outside any protocol lock, so yielding here is safe.
-  SimSchedulePoint("commit.install");
-  if (env.install_pause_ns <= 0) return;
-  const int64_t until = NowNanos() + env.install_pause_ns;
-  while (NowNanos() < until) {
-    // Busy-wait: the injected window must not depend on scheduler wakeup
-    // granularity.
-  }
-}
-
-void LogCommitBatch(const ProtocolEnv& env, const TxnState& txn) {
-  if (env.wal == nullptr || txn.write_order.empty()) return;
-  CommitBatch batch;
-  batch.txn = txn.id;
-  batch.tn = txn.tn;
-  batch.writes.reserve(txn.write_order.size());
-  for (ObjectKey key : txn.write_order) {
-    batch.writes.push_back(LoggedWrite{key, txn.write_set.at(key)});
-  }
-  env.wal->Append(std::move(batch));
-}
-
-}  // namespace mvcc
+namespace mvcc {}  // namespace mvcc

@@ -15,7 +15,7 @@
 
 namespace mvcc {
 
-class WriteAheadLog;
+class CommitPipeline;
 
 // Shared services handed to every protocol implementation. The version
 // control module is present for all protocols but the baselines ignore it;
@@ -25,29 +25,15 @@ struct ProtocolEnv {
   VersionControl* vc = nullptr;
   EventCounters* counters = nullptr;
 
-  // Optional write-ahead log. VC protocols append the commit batch
-  // through LogCommitBatch() BEFORE calling VCcomplete, so that the log
-  // is always ahead of visibility (see below); baselines are logged by
-  // the transaction layer after their own commit point.
-  WriteAheadLog* wal = nullptr;
-
-  // Fault injection: busy-wait this long between the per-key version
-  // installs of one commit. Widens the (real but nanosecond-scale)
-  // window in which a multi-key commit is only partially installed, so
-  // tests and ablations can exercise it deterministically. Zero in
-  // production use.
-  int64_t install_pause_ns = 0;
+  // The shared commit epilogue (txn/commit_pipeline.h): install buffered
+  // versions, group-commit the batch to the WAL (write-ahead of
+  // visibility — the batch is durable BEFORE VCcomplete makes it
+  // visible, the invariant replication tails the log under), then
+  // VCcomplete. VC protocols route every Commit() through it and never
+  // touch the log or call vc->Complete directly; baselines ignore it and
+  // are logged by the transaction layer after their own commit point.
+  CommitPipeline* pipeline = nullptr;
 };
-
-// Helper for the fault-injection pause above.
-void MaybePauseInstall(const ProtocolEnv& env);
-
-// Appends T's committed writes to env.wal (no-op without a log or with an
-// empty write set). VC protocols MUST call this after installing their
-// versions and BEFORE VCcomplete(tn): replication tails the log under the
-// invariant that every committed batch with tn <= vtnc is already durable,
-// so a shipped visibility horizon can never miss a committed batch.
-void LogCommitBatch(const ProtocolEnv& env, const TxnState& txn);
 
 // A pluggable synchronization protocol: the paper's "concurrency control
 // component" plus, for the baselines, their integrated version management.

@@ -177,24 +177,25 @@ TxnNumber TimestampOrdering::RangeFloorFor(ObjectKey key) const {
 }
 
 Status TimestampOrdering::Commit(TxnState* txn) {
-  // commit(T): perform database updates, clear pending (waking blocked
-  // reads), then VCcomplete(T).
-  for (ObjectKey key : txn->write_order) {
-    MaybePauseInstall(env_);
-    Shard& shard = ShardFor(key);
-    {
-      std::lock_guard<std::mutex> guard(shard.mu);
-      KeyState& st = shard.table[key];
-      st.pending.erase(txn->tn);
-      if (txn->tn > st.committed_wts) st.committed_wts = txn->tn;
-      env_.store->GetOrCreate(key)->Install(
-          Version{txn->tn, txn->write_set[key], txn->id});
-    }
-    shard.cv.notify_all();
-  }
-  LogCommitBatch(env_, *txn);
-  env_.vc->Complete(txn->tn);
+  // commit(T): the shared pipeline performs the database updates (via
+  // InstallOne, clearing pending and waking blocked reads per key),
+  // group-commits the batch, then VCcomplete(T).
+  env_.pipeline->Commit(txn, this);
   return Status::OK();
+}
+
+bool TimestampOrdering::InstallOne(TxnState* txn, ObjectKey key) {
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> guard(shard.mu);
+    KeyState& st = shard.table[key];
+    st.pending.erase(txn->tn);
+    if (txn->tn > st.committed_wts) st.committed_wts = txn->tn;
+    env_.store->GetOrCreate(key)->Install(
+        Version{txn->tn, txn->write_set[key], txn->id});
+  }
+  shard.cv.notify_all();
+  return true;
 }
 
 void TimestampOrdering::Abort(TxnState* txn) {

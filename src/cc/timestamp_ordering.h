@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cc/protocol.h"
+#include "txn/commit_pipeline.h"
 
 namespace mvcc {
 
@@ -22,7 +23,7 @@ namespace mvcc {
 // that version and tn(T). Writes are rejected (transaction aborted) when
 // r-ts(x) > tn(T) or w-ts(x) > tn(T); granted writes stay pending until
 // commit. Read-only transactions never reach this class (ReadOnlyBypass).
-class TimestampOrdering : public Protocol {
+class TimestampOrdering : public Protocol, public CommitParticipant {
  public:
   explicit TimestampOrdering(ProtocolEnv env, size_t num_shards = 64);
 
@@ -43,6 +44,11 @@ class TimestampOrdering : public Protocol {
   // the gap).
   Result<std::vector<std::pair<ObjectKey, VersionRead>>> Scan(
       TxnState* txn, ObjectKey lo, ObjectKey hi) override;
+
+  // CommitParticipant: installs carry per-key bookkeeping — clear the
+  // pending write, bump the committed w-ts, wake readers blocked on the
+  // pending entry.
+  bool InstallOne(TxnState* txn, ObjectKey key) override;
 
   // Test hooks.
   TxnNumber ReadTimestamp(ObjectKey key) const;

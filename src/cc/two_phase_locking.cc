@@ -82,22 +82,19 @@ TwoPhaseLocking::Scan(TxnState* txn, ObjectKey lo, ObjectKey hi) {
 
 Status TwoPhaseLocking::Commit(TxnState* txn) {
   // end(T), Figure 4. The transaction is past its lock point: its serial
-  // position is now fixed, so register with version control.
+  // position is now fixed, so register with version control. The shared
+  // pipeline then installs the buffered versions, makes the batch
+  // durable (group commit), clears the locks (BeforeComplete) and makes
+  // the updates visible in serial order.
   txn->tn = env_.vc->Register(txn->id);
   txn->registered = true;
-  // Perform database updates with version number tn(T).
-  for (ObjectKey key : txn->write_order) {
-    MaybePauseInstall(env_);
-    env_.store->GetOrCreate(key)->Install(
-        Version{txn->tn, txn->write_set[key], txn->id});
-  }
-  // Log, clear locks, then make the updates visible in serial order —
-  // the write-ahead point precedes visibility (see LogCommitBatch).
-  LogCommitBatch(env_, *txn);
+  env_.pipeline->Commit(txn, this);
+  return Status::OK();
+}
+
+void TwoPhaseLocking::BeforeComplete(TxnState* txn) {
   locks_.ReleaseAll(txn->id);
   ranges_.ReleaseAll(txn->id);
-  env_.vc->Complete(txn->tn);
-  return Status::OK();
 }
 
 void TwoPhaseLocking::Abort(TxnState* txn) {

@@ -6,6 +6,7 @@
 #include "cc/lock_manager.h"
 #include "cc/protocol.h"
 #include "cc/range_lock_table.h"
+#include "txn/commit_pipeline.h"
 
 namespace mvcc {
 
@@ -15,11 +16,11 @@ namespace mvcc {
 // latest committed version (sn = infinity "for uniformity"). Writes buffer
 // an uncommitted version ("phi"). At end(T):
 //   VCregister(T)  -> tn(T) assigned at the lock point,
-//   install buffered versions numbered tn(T),
-//   clear locks,
-//   VCcomplete(T).
+// then the shared commit pipeline runs the epilogue: install buffered
+// versions numbered tn(T), group-commit the batch, clear locks
+// (BeforeComplete), VCcomplete(T).
 // Read-only transactions never reach this class (ReadOnlyBypass).
-class TwoPhaseLocking : public Protocol {
+class TwoPhaseLocking : public Protocol, public CommitParticipant {
  public:
   TwoPhaseLocking(ProtocolEnv env, DeadlockPolicy policy);
 
@@ -38,6 +39,10 @@ class TwoPhaseLocking : public Protocol {
   // before the scanner commits.
   Result<std::vector<std::pair<ObjectKey, VersionRead>>> Scan(
       TxnState* txn, ObjectKey lo, ObjectKey hi) override;
+
+  // CommitParticipant: strict 2PL must hold its locks through the
+  // durability point and release them before visibility.
+  void BeforeComplete(TxnState* txn) override;
 
   LockManager& lock_manager() { return locks_; }
   RangeLockTable& range_locks() { return ranges_; }

@@ -66,6 +66,9 @@ Result<TxnNumber> Site::Prepare(TxnId txn, uint32_t tiebreak) {
   }
   // All local locks are held: this site's lock point has passed, the
   // local serial position is fixed — register now (Figure 4 discipline).
+  // kSiteTagged numbering runs VersionControl's locked map core: the
+  // Promote() below moves this entry to a non-dense global number during
+  // 2PC agreement, which the dense completion ring cannot index.
   return vc_.Register(txn, tiebreak);
 }
 

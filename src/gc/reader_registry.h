@@ -1,6 +1,8 @@
 #ifndef MVCC_GC_READER_REGISTRY_H_
 #define MVCC_GC_READER_REGISTRY_H_
 
+#include <atomic>
+#include <cstddef>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -14,38 +16,106 @@ namespace mvcc {
 // garbage collection algorithm ... keeps the information about read-only
 // transactions"). Read-write transactions are irrelevant: under the VC
 // protocols they read only the latest version.
+//
+// Enter/Exit sit on the read-only Begin/Commit path, which the paper
+// promises is synchronization-free — a global mutex here undermined that
+// in spirit (every read-only transaction serialized on it when GC was
+// on). The fast path is now lock-free: a reader claims one slot of a
+// fixed array with a single CAS (Enter) and releases it with one CAS
+// (Exit). Slots store sn + 1 so that 0 can mean "free" (sn 0, the empty
+// snapshot, is valid). Only when all kSlots are occupied (kSlots
+// concurrent read-only transactions) does an entry overflow into the
+// legacy mutex-protected multiset.
+//
+// MinActive (GC only, off the reader path) scans the array and the
+// overflow set. The same benign race as with the mutex version applies:
+// a reader that enters while a GC pass is computing the watermark may be
+// missed, which is safe because Database::Begin publishes the pin
+// BEFORE taking the snapshot the transaction actually reads.
 class ReaderRegistry {
  public:
-  ReaderRegistry() = default;
+  static constexpr size_t kSlots = 256;  // power of two
+
+  ReaderRegistry() {
+    for (auto& slot : slots_) slot.store(0, std::memory_order_relaxed);
+  }
   ReaderRegistry(const ReaderRegistry&) = delete;
   ReaderRegistry& operator=(const ReaderRegistry&) = delete;
 
   void Enter(TxnNumber sn) {
+    const uint64_t enc = sn + 1;
+    const size_t start = cursor_.fetch_add(1, std::memory_order_relaxed);
+    for (size_t i = 0; i < kSlots; ++i) {
+      auto& slot = slots_[(start + i) & (kSlots - 1)];
+      uint64_t expected = 0;
+      if (slot.compare_exchange_strong(expected, enc,
+                                       std::memory_order_seq_cst)) {
+        return;
+      }
+    }
+    // All slots busy: fall back to the locked overflow set.
     std::lock_guard<std::mutex> guard(mu_);
-    active_.insert(sn);
+    overflow_.insert(sn);
+    overflow_count_.fetch_add(1, std::memory_order_seq_cst);
   }
 
   void Exit(TxnNumber sn) {
+    const uint64_t enc = sn + 1;
+    for (size_t i = 0; i < kSlots; ++i) {
+      auto& slot = slots_[i];
+      if (slot.load(std::memory_order_relaxed) != enc) continue;
+      uint64_t expected = enc;
+      if (slot.compare_exchange_strong(expected, 0,
+                                       std::memory_order_seq_cst)) {
+        return;
+      }
+    }
+    // Either this entry overflowed, or an equal sn in a slot was
+    // released by a concurrent Exit — multiset semantics only require
+    // that one matching entry go away.
+    if (overflow_count_.load(std::memory_order_seq_cst) == 0) return;
     std::lock_guard<std::mutex> guard(mu_);
-    auto it = active_.find(sn);
-    if (it != active_.end()) active_.erase(it);
+    auto it = overflow_.find(sn);
+    if (it != overflow_.end()) {
+      overflow_.erase(it);
+      overflow_count_.fetch_sub(1, std::memory_order_seq_cst);
+    }
   }
 
   // Smallest start number among active read-only transactions, if any.
   std::optional<TxnNumber> MinActive() const {
-    std::lock_guard<std::mutex> guard(mu_);
-    if (active_.empty()) return std::nullopt;
-    return *active_.begin();
+    std::optional<TxnNumber> min;
+    for (const auto& slot : slots_) {
+      const uint64_t enc = slot.load(std::memory_order_seq_cst);
+      if (enc != 0 && (!min || enc - 1 < *min)) min = enc - 1;
+    }
+    if (overflow_count_.load(std::memory_order_seq_cst) != 0) {
+      std::lock_guard<std::mutex> guard(mu_);
+      if (!overflow_.empty() &&
+          (!min || *overflow_.begin() < *min)) {
+        min = *overflow_.begin();
+      }
+    }
+    return min;
   }
 
   size_t ActiveCount() const {
+    size_t count = 0;
+    for (const auto& slot : slots_) {
+      if (slot.load(std::memory_order_seq_cst) != 0) ++count;
+    }
     std::lock_guard<std::mutex> guard(mu_);
-    return active_.size();
+    return count + overflow_.size();
   }
 
  private:
+  std::atomic<uint64_t> slots_[kSlots];
+  // Rotating probe start so concurrent Enters rarely collide on a slot.
+  std::atomic<size_t> cursor_{0};
+
   mutable std::mutex mu_;
-  std::multiset<TxnNumber> active_;
+  std::multiset<TxnNumber> overflow_;
+  std::atomic<uint64_t> overflow_count_{0};
 };
 
 }  // namespace mvcc

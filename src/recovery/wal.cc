@@ -59,6 +59,30 @@ void WriteAheadLog::Append(CommitBatch batch) {
   batches_.push_back(std::move(batch));
 }
 
+void WriteAheadLog::AppendGroup(std::vector<CommitBatch> batches) {
+  // Per-record crash injection first, outside the lock: a crash keeps
+  // the durable prefix of the group and drops the rest, exactly as a
+  // sequence of Append calls would.
+  size_t keep = batches.size();
+  if (SimHook* hook = InstalledSimHook()) {
+    keep = 0;
+    for (const CommitBatch& batch : batches) {
+      if (crashed_.load(std::memory_order_relaxed) ||
+          hook->OnWalAppend(batch.tn)) {
+        crashed_.store(true, std::memory_order_relaxed);
+        break;
+      }
+      ++keep;
+    }
+  }
+  if (keep == 0) return;
+  std::lock_guard<std::mutex> guard(mu_);
+  for (size_t i = 0; i < keep; ++i) {
+    max_tn_ = std::max(max_tn_, batches[i].tn);
+    batches_.push_back(std::move(batches[i]));
+  }
+}
+
 std::vector<CommitBatch> WriteAheadLog::Batches() const {
   std::lock_guard<std::mutex> guard(mu_);
   return batches_;

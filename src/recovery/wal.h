@@ -27,6 +27,14 @@ class WriteAheadLog {
   // Appends one committed transaction atomically.
   void Append(CommitBatch batch);
 
+  // Appends a whole commit group atomically under ONE lock acquisition —
+  // the group-commit durability point of the shared commit pipeline.
+  // Observably equivalent to calling Append on each batch in order:
+  // fault injection (SimHook::OnWalAppend) still fires per record, so a
+  // simulated crash can land inside a group and lose exactly a suffix of
+  // it (the surviving log remains an exact prefix of the append order).
+  void AppendGroup(std::vector<CommitBatch> batches);
+
   // Snapshot of all batches currently in the log.
   std::vector<CommitBatch> Batches() const;
 

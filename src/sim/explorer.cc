@@ -154,7 +154,8 @@ SimReport ExploreOnce(const ExploreOptions& options) {
   dopt.preload_keys = options.keys;
   dopt.record_history = true;
   dopt.deadlock_policy = options.deadlock_policy;
-  dopt.enable_wal = options.faults.crash_at_wal_append >= 0;
+  dopt.enable_wal =
+      options.enable_wal || options.faults.crash_at_wal_append >= 0;
   Database db(dopt);
   if (options.literal_figure1_discard) {
     db.version_control().SetLiteralFigure1DiscardForTest(true);

@@ -43,6 +43,12 @@ struct ExploreOptions {
   // liveness bug the oracle must catch. Used by the replay tests.
   bool literal_figure1_discard = false;
 
+  // Runs with the write-ahead log on even without crash injection, so
+  // the group-commit pipeline (leader election, follower waits, batched
+  // AppendGroup) is exercised under schedule exploration. Implied by
+  // faults.crash_at_wal_append >= 0.
+  bool enable_wal = false;
+
   DeadlockPolicy deadlock_policy = DeadlockPolicy::kWaitDie;
   FaultPlan faults;
   uint64_t max_steps = 2'000'000;

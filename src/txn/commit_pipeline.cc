@@ -1,0 +1,94 @@
+#include "txn/commit_pipeline.h"
+
+#include <utility>
+
+#include "common/clock.h"
+#include "common/sim_hook.h"
+#include "recovery/wal.h"
+
+namespace mvcc {
+
+CommitPipeline::CommitPipeline(ObjectStore* store, VersionControl* vc,
+                               WriteAheadLog* wal, Options options)
+    : store_(store), vc_(vc), wal_(wal), options_(options) {}
+
+void CommitPipeline::MaybePauseInstall() {
+  // Under simulation the interleaving point IS the pause: the scheduler
+  // may run other tasks inside the partially-installed commit window.
+  // Call sites sit outside any protocol lock, so yielding here is safe.
+  SimSchedulePoint("commit.install");
+  if (options_.install_pause_ns <= 0) return;
+  const int64_t until = NowNanos() + options_.install_pause_ns;
+  while (NowNanos() < until) {
+    // Busy-wait: the injected window must not depend on scheduler wakeup
+    // granularity.
+  }
+}
+
+void CommitPipeline::Commit(TxnState* txn, CommitParticipant* participant) {
+  // 1. Perform database updates with version number tn(T).
+  for (ObjectKey key : txn->write_order) {
+    MaybePauseInstall();
+    if (participant == nullptr || !participant->InstallOne(txn, key)) {
+      store_->GetOrCreate(key)->Install(
+          Version{txn->tn, txn->write_set[key], txn->id});
+    }
+  }
+  // 2. Durability: the write-ahead point precedes visibility.
+  LogDurable(txn);
+  // 3. Protocol cleanup that must precede visibility (2PL lock release).
+  if (participant != nullptr) participant->BeforeComplete(txn);
+  // 4. Make the updates visible in serial order.
+  vc_->Complete(txn->tn);
+}
+
+void CommitPipeline::LogDurable(TxnState* txn) {
+  if (wal_ == nullptr || txn->write_order.empty()) return;
+  CommitBatch batch;
+  batch.txn = txn->id;
+  batch.tn = txn->tn;
+  batch.writes.reserve(txn->write_order.size());
+  for (ObjectKey key : txn->write_order) {
+    batch.writes.push_back(LoggedWrite{key, txn->write_set[key]});
+  }
+
+  uint64_t my_seq = 0;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    pending_.push_back(std::move(batch));
+    my_seq = ++enqueued_seq_;
+  }
+  batches_logged_.fetch_add(1, std::memory_order_relaxed);
+  // Group-formation point: under simulation, yield here (outside mu_) so
+  // other committers can enqueue into the same group before a leader is
+  // elected — real threads pile up naturally while a leader is flushing.
+  SimSchedulePoint("pipeline.enqueue");
+
+  std::unique_lock<std::mutex> lock(mu_);
+  while (durable_seq_ < my_seq) {
+    if (!flush_active_) {
+      // Become the leader: flush everything pending as one group.
+      flush_active_ = true;
+      std::vector<CommitBatch> group;
+      group.swap(pending_);
+      const uint64_t count = group.size();
+      lock.unlock();
+      wal_->AppendGroup(std::move(group));
+      lock.lock();
+      // Flushes are FIFO (one leader at a time takes the whole queue),
+      // so these `count` batches are exactly the next `count` sequence
+      // numbers after durable_seq_.
+      durable_seq_ += count;
+      flush_active_ = false;
+      groups_flushed_.fetch_add(1, std::memory_order_relaxed);
+      cv_.notify_all();
+    } else {
+      // A leader is flushing; it either took our batch (its return
+      // advances durable_seq_ past my_seq) or we will find the queue
+      // ready for a new leader on wakeup.
+      SimAwareCvWait(cv_, lock, "pipeline.group_wait");
+    }
+  }
+}
+
+}  // namespace mvcc

@@ -72,12 +72,15 @@ Database::Database(DatabaseOptions options)
   if (options_.enable_wal) {
     wal_ = std::make_unique<WriteAheadLog>();
   }
+  CommitPipeline::Options popt;
+  popt.install_pause_ns = options_.install_pause_ns;
+  pipeline_ =
+      std::make_unique<CommitPipeline>(&store_, &vc_, wal_.get(), popt);
   ProtocolEnv env;
   env.store = &store_;
   env.vc = &vc_;
   env.counters = &counters_;
-  env.wal = wal_.get();
-  env.install_pause_ns = options_.install_pause_ns;
+  env.pipeline = pipeline_.get();
   protocol_ = MakeProtocol(options_, env);
   assert(protocol_ != nullptr);
   if (options_.enable_gc) {
@@ -261,9 +264,10 @@ Status Database::DoCommit(TxnState* state) {
         if (chain != nullptr) chain->Prune(watermark);
       }
     }
-    // VC protocols already appended their commit batch inside Commit(),
-    // before VCcomplete (write-ahead of visibility; see LogCommitBatch).
-    // The baselines have no VC completion point, so log them here.
+    // VC protocols already appended their commit batch inside Commit()
+    // via the shared pipeline, before VCcomplete (write-ahead of
+    // visibility; see CommitPipeline). The baselines have no VC
+    // completion point, so log them here.
     if (wal_ != nullptr && !protocol_->ReadOnlyBypass() &&
         !state->write_order.empty()) {
       CommitBatch batch;

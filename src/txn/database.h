@@ -17,6 +17,7 @@
 #include "history/history.h"
 #include "recovery/wal.h"
 #include "storage/object_store.h"
+#include "txn/commit_pipeline.h"
 #include "txn/transaction.h"
 #include "vc/version_control.h"
 
@@ -70,7 +71,7 @@ struct DatabaseOptions {
   size_t store_shards = 64;
 
   // Fault injection: pause between per-key installs at commit (tests and
-  // ablations only). See ProtocolEnv::install_pause_ns.
+  // ablations only). See CommitPipeline::Options::install_pause_ns.
   int64_t install_pause_ns = 0;
 };
 
@@ -117,6 +118,8 @@ class Database {
 
   ObjectStore& store() { return store_; }
   VersionControl& version_control() { return vc_; }
+  // The shared commit epilogue every VC protocol routes through.
+  CommitPipeline& commit_pipeline() { return *pipeline_; }
   // Non-null when enable_wal was set.
   WriteAheadLog* wal() { return wal_.get(); }
   EventCounters& counters() { return counters_; }
@@ -152,6 +155,7 @@ class Database {
   History history_;
   ReaderRegistry readers_;
   std::unique_ptr<WriteAheadLog> wal_;
+  std::unique_ptr<CommitPipeline> pipeline_;
   std::unique_ptr<Protocol> protocol_;
   std::unique_ptr<GarbageCollector> gc_;
   std::atomic<TxnId> next_txn_id_{1};

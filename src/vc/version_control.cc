@@ -1,5 +1,6 @@
 #include "vc/version_control.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/check.h"
@@ -7,10 +8,24 @@
 
 namespace mvcc {
 
-VersionControl::VersionControl(NumberingMode mode) : mode_(mode) {}
+VersionControl::VersionControl(NumberingMode mode, bool force_locked_core)
+    : mode_(mode),
+      locked_core_(mode == NumberingMode::kSiteTagged || force_locked_core) {
+  if (!locked_core_) {
+    ring_.reset(new std::atomic<uint64_t>[kRingSize]);
+    for (size_t i = 0; i < kRingSize; ++i) {
+      ring_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
 
 void VersionControl::SetLiteralFigure1DiscardForTest(bool literal) {
   std::lock_guard<std::mutex> guard(mu_);
+  if (literal && !locked_core_) {
+    MVCC_CHECK(counter_.load(std::memory_order_relaxed) == 1 &&
+               "literal Figure 1 mode must be set before any registration");
+    locked_core_ = true;  // sticky: the map queue owns the semantics now
+  }
   literal_figure1_discard_ = literal;
 }
 
@@ -19,15 +34,48 @@ void VersionControl::SetLiteralFigure1DiscardForTest(bool literal) {
 // plain mutex would hang the cooperative scheduler. Callers that hold no
 // locks (TO begin, the 2PC prepare path) place their own points.
 TxnNumber VersionControl::Register(TxnId txn, uint32_t tiebreak) {
+  if (locked_core_) return RegisterLocked(txn, tiebreak);
+  // Ring fast path: one uncontended fetch_add assigns the number, one
+  // release store publishes the ACTIVE entry. The slot for tn is free
+  // once the occupant kRingSize numbers ago has been drained.
+  const TxnNumber tn = counter_.fetch_add(1, std::memory_order_relaxed);
+  if (tn > kRingSize &&
+      drain_.load(std::memory_order_acquire) + kRingSize < tn) {
+    // Backpressure slow path: >= kRingSize registrations are unresolved.
+    std::unique_lock<std::mutex> lock(mu_);
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    SimAwareCvWait(cv_, lock, "vc.ring_full", [this, tn] {
+      return drain_.load(std::memory_order_seq_cst) + kRingSize >= tn;
+    });
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+  ring_[tn & kRingMask].store((tn << 2) | kSlotActive,
+                              std::memory_order_release);
+  SimObserve(this, "vc.register", tn,
+             counter_.load(std::memory_order_relaxed));
+  return tn;
+}
+
+TxnNumber VersionControl::RegisterLocked(TxnId txn, uint32_t tiebreak) {
   std::lock_guard<std::mutex> guard(mu_);
-  const TxnNumber tn = MakeNumber(counter_++, tiebreak);
+  const uint64_t c = counter_.fetch_add(1, std::memory_order_relaxed);
+  const TxnNumber tn = MakeNumber(c, tiebreak);
   queue_.Insert(tn, txn);
-  SimObserve(this, "vc.register", tn, MakeNumber(counter_, 0));
+  SimObserve(this, "vc.register", tn,
+             MakeNumber(counter_.load(std::memory_order_relaxed), 0));
   return tn;
 }
 
 void VersionControl::Discard(TxnNumber tn) {
   SimSchedulePoint("vc.discard");
+  if (locked_core_) {
+    DiscardLocked(tn);
+    return;
+  }
+  RingResolve(tn, kSlotDiscarded);
+}
+
+void VersionControl::DiscardLocked(TxnNumber tn) {
   {
     std::lock_guard<std::mutex> guard(mu_);
     queue_.Erase(tn);
@@ -38,7 +86,8 @@ void VersionControl::Discard(TxnNumber tn) {
       if (auto new_vtnc = queue_.DrainCompletedHead()) {
         MVCC_CHECK(*new_vtnc >= vtnc_.load(std::memory_order_relaxed));
         vtnc_.store(*new_vtnc, std::memory_order_release);
-        SimObserve(this, "vc.vtnc", *new_vtnc, MakeNumber(counter_, 0));
+        SimObserve(this, "vc.vtnc", *new_vtnc,
+                   MakeNumber(counter_.load(std::memory_order_relaxed), 0));
       }
     }
   }
@@ -47,71 +96,263 @@ void VersionControl::Discard(TxnNumber tn) {
 
 void VersionControl::Complete(TxnNumber tn) {
   SimSchedulePoint("vc.complete");
+  if (locked_core_) {
+    CompleteLocked(tn);
+    return;
+  }
+  RingResolve(tn, kSlotComplete);
+}
+
+void VersionControl::CompleteLocked(TxnNumber tn) {
   {
     std::lock_guard<std::mutex> guard(mu_);
     queue_.MarkComplete(tn);
     if (auto new_vtnc = queue_.DrainCompletedHead()) {
       MVCC_CHECK(*new_vtnc >= vtnc_.load(std::memory_order_relaxed));
       vtnc_.store(*new_vtnc, std::memory_order_release);
-      SimObserve(this, "vc.vtnc", *new_vtnc, MakeNumber(counter_, 0));
+      SimObserve(this, "vc.vtnc", *new_vtnc,
+                 MakeNumber(counter_.load(std::memory_order_relaxed), 0));
     }
   }
   cv_.notify_all();
 }
 
+void VersionControl::RingResolve(TxnNumber tn, uint64_t state) {
+  // Only the owning transaction resolves its slot, so a plain release
+  // store suffices: it publishes every write the transaction installed
+  // before resolving (the drain's acquire load pairs with it).
+  ring_[tn & kRingMask].store((tn << 2) | state, std::memory_order_release);
+  RingDrain();
+  WakeWaitersIfAny();
+}
+
+void VersionControl::RingDrain() {
+  while (true) {
+    const TxnNumber d = drain_.load(std::memory_order_acquire);
+    const TxnNumber next = d + 1;
+    const uint64_t v =
+        ring_[next & kRingMask].load(std::memory_order_acquire);
+    const uint64_t complete_v = (next << 2) | kSlotComplete;
+    const uint64_t discard_v = (next << 2) | kSlotDiscarded;
+    if (v != complete_v && v != discard_v) {
+      // Head is active, a registration in flight, or never assigned
+      // (counter jump). Only the last case lets the drain proceed.
+      if (v == 0 && gap_count_.load(std::memory_order_seq_cst) != 0 &&
+          TryJumpGap(d)) {
+        continue;
+      }
+      return;
+    }
+    TxnNumber expected = d;
+    if (!drain_.compare_exchange_strong(expected, next,
+                                        std::memory_order_seq_cst)) {
+      continue;  // another drainer consumed it; re-read the cursor
+    }
+    // This thread consumed slot `next`: free it for tn next + kRingSize.
+    // CAS, not a blind store — the registration of next + kRingSize may
+    // already have observed the advanced cursor and claimed the slot, in
+    // which case it must not be clobbered.
+    uint64_t occupant = v;
+    ring_[next & kRingMask].compare_exchange_strong(
+        occupant, 0, std::memory_order_seq_cst);
+    if (v == complete_v) AdvanceVtncTo(next);
+    // Discarded numbers advance the drain but never visibility: vtnc
+    // skips them without ever naming them (VcModel semantics).
+  }
+}
+
+bool VersionControl::TryJumpGap(TxnNumber d) {
+  std::lock_guard<std::mutex> guard(mu_);
+  const auto it = gaps_.find(d + 1);
+  if (it == gaps_.end()) return false;
+  const TxnNumber last = it->second;
+  TxnNumber expected = d;
+  if (drain_.compare_exchange_strong(expected, last,
+                                     std::memory_order_seq_cst)) {
+    gap_tns_.fetch_sub(last - it->first + 1, std::memory_order_relaxed);
+    gaps_.erase(it);
+    gap_count_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+  // Won or lost, the cursor moved: retry the drain loop.
+  return true;
+}
+
+void VersionControl::AdvanceVtncTo(TxnNumber target) {
+  TxnNumber cur = vtnc_.load(std::memory_order_relaxed);
+  while (cur < target &&
+         !vtnc_.compare_exchange_weak(cur, target,
+                                      std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+  }
+  if (cur < target) {
+    // This thread performed the advance. Under simulation tasks are
+    // serialized, so the observation stream itself is monotone.
+    SimObserve(this, "vc.vtnc", target,
+               counter_.load(std::memory_order_relaxed));
+  }
+}
+
+void VersionControl::WakeWaitersIfAny() {
+  if (waiters_.load(std::memory_order_seq_cst) == 0) return;
+  // The empty critical section serializes with a waiter that has
+  // registered in waiters_ but not yet slept: by the time we hold mu_,
+  // it either re-checked its predicate (seeing our seq_cst update) or is
+  // inside cv_.wait and will receive the notify.
+  { std::lock_guard<std::mutex> guard(mu_); }
+  cv_.notify_all();
+}
+
 void VersionControl::Promote(TxnNumber from, TxnNumber to) {
   SimSchedulePoint("vc.promote");
-  if (from == to) {
-    std::lock_guard<std::mutex> guard(mu_);
-    if (CounterPart(to) >= counter_) counter_ = CounterPart(to) + 1;
-    return;
-  }
+  MVCC_CHECK(locked_core_ && "Promote requires the locked (site) core");
   std::lock_guard<std::mutex> guard(mu_);
-  MVCC_CHECK(to > from && "promotion must move forward in serial order");
-  MVCC_CHECK(queue_.Contains(from));
-  queue_.Erase(from);
-  queue_.Insert(to, /*txn=*/0);
-  if (CounterPart(to) >= counter_) counter_ = CounterPart(to) + 1;
-  SimObserve(this, "vc.promote", to, MakeNumber(counter_, 0));
+  if (from != to) {
+    MVCC_CHECK(to > from && "promotion must move forward in serial order");
+    MVCC_CHECK(queue_.Contains(from));
+    queue_.Erase(from);
+    queue_.Insert(to, /*txn=*/0);
+  }
+  const uint64_t needed = CounterPart(to) + 1;
+  uint64_t c = counter_.load(std::memory_order_relaxed);
+  while (c < needed &&
+         !counter_.compare_exchange_weak(c, needed,
+                                         std::memory_order_seq_cst,
+                                         std::memory_order_relaxed)) {
+  }
+  if (from != to) {
+    SimObserve(this, "vc.promote", to,
+               MakeNumber(counter_.load(std::memory_order_relaxed), 0));
+  }
 }
 
 void VersionControl::AdvanceCounterPast(TxnNumber tn) {
   SimSchedulePoint("vc.advance_counter");
-  std::lock_guard<std::mutex> guard(mu_);
   const uint64_t needed = CounterPart(tn) + 1;
-  if (counter_ < needed) counter_ = needed;
+  uint64_t c = counter_.load(std::memory_order_seq_cst);
+  while (c < needed) {
+    if (counter_.compare_exchange_weak(c, needed,
+                                       std::memory_order_seq_cst,
+                                       std::memory_order_relaxed)) {
+      if (!locked_core_) {
+        // Numbers [c, needed) will never be assigned; record the range
+        // so the ring drain can step over it (the map queue simply never
+        // sees such numbers).
+        {
+          std::lock_guard<std::mutex> guard(mu_);
+          gaps_[c] = needed - 1;
+          gap_tns_.fetch_add(needed - c, std::memory_order_relaxed);
+        }
+        gap_count_.fetch_add(1, std::memory_order_seq_cst);
+        // A drain may already be parked at the gap head; push it through
+        // and wake anyone waiting on the resulting quiescence.
+        RingDrain();
+        WakeWaitersIfAny();
+      }
+      return;
+    }
+  }
 }
 
 void VersionControl::RecoverTo(TxnNumber last_committed) {
   std::lock_guard<std::mutex> guard(mu_);
-  MVCC_CHECK(queue_.empty() && "recovery with transactions in flight");
-  vtnc_.store(last_committed, std::memory_order_release);
+  if (locked_core_) {
+    MVCC_CHECK(queue_.empty() && "recovery with transactions in flight");
+  } else {
+    MVCC_CHECK(counter_.load(std::memory_order_relaxed) - 1 ==
+                   drain_.load(std::memory_order_relaxed) +
+                       gap_tns_.load(std::memory_order_relaxed) &&
+               "recovery with transactions in flight");
+    // Every replayed number is complete and durable: jump the drain
+    // cursor directly (no slots were ever occupied), dropping any gap
+    // bookkeeping the jump swallows.
+    if (drain_.load(std::memory_order_relaxed) < last_committed) {
+      drain_.store(last_committed, std::memory_order_seq_cst);
+      for (auto it = gaps_.begin(); it != gaps_.end();) {
+        if (it->second <= last_committed) {
+          gap_tns_.fetch_sub(it->second - it->first + 1,
+                             std::memory_order_relaxed);
+          gap_count_.fetch_sub(1, std::memory_order_seq_cst);
+          it = gaps_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  if (vtnc_.load(std::memory_order_relaxed) < last_committed) {
+    vtnc_.store(last_committed, std::memory_order_release);
+  }
   const uint64_t needed = CounterPart(last_committed) + 1;
-  if (counter_ < needed) counter_ = needed;
+  uint64_t c = counter_.load(std::memory_order_relaxed);
+  while (c < needed &&
+         !counter_.compare_exchange_weak(c, needed,
+                                         std::memory_order_seq_cst,
+                                         std::memory_order_relaxed)) {
+  }
+}
+
+bool VersionControl::RingHasActiveAtOrBelowLocked(TxnNumber sn) const {
+  const TxnNumber last = counter_.load(std::memory_order_seq_cst) - 1;
+  const TxnNumber bound = std::min(sn, last);
+  TxnNumber t = drain_.load(std::memory_order_seq_cst) + 1;
+  while (t <= bound) {
+    const uint64_t v = ring_[t & kRingMask].load(std::memory_order_seq_cst);
+    if (v == ((t << 2) | kSlotComplete) ||
+        v == ((t << 2) | kSlotDiscarded)) {
+      ++t;  // resolved; the drain just has not consumed it yet
+      continue;
+    }
+    if (v == 0) {
+      // Free: either a registration in flight (counts as active — its
+      // writes are not yet final) or a never-assigned counter jump.
+      auto it = gaps_.upper_bound(t);
+      if (it != gaps_.begin()) {
+        --it;
+        if (t >= it->first && t <= it->second) {
+          t = it->second + 1;
+          continue;
+        }
+      }
+    }
+    return true;
+  }
+  return false;
 }
 
 void VersionControl::WaitNoActiveAtOrBelow(TxnNumber sn) {
   std::unique_lock<std::mutex> lock(mu_);
-  SimAwareCvWait(cv_, lock, "vc.wait_no_active",
-                 [this, sn] { return !queue_.HasActiveAtOrBelow(sn); });
+  waiters_.fetch_add(1, std::memory_order_seq_cst);
+  SimAwareCvWait(cv_, lock, "vc.wait_no_active", [this, sn] {
+    return locked_core_ ? !queue_.HasActiveAtOrBelow(sn)
+                        : !RingHasActiveAtOrBelowLocked(sn);
+  });
+  waiters_.fetch_sub(1, std::memory_order_seq_cst);
 }
 
 TxnNumber VersionControl::StartAtLeast(TxnNumber tn) {
   std::unique_lock<std::mutex> lock(mu_);
+  waiters_.fetch_add(1, std::memory_order_seq_cst);
   SimAwareCvWait(cv_, lock, "vc.start_at_least", [this, tn] {
-    return vtnc_.load(std::memory_order_acquire) >= tn;
+    return vtnc_.load(std::memory_order_seq_cst) >= tn;
   });
+  waiters_.fetch_sub(1, std::memory_order_seq_cst);
   return vtnc_.load(std::memory_order_acquire);
 }
 
 TxnNumber VersionControl::NextNumber() const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return MakeNumber(counter_, 0);
+  return MakeNumber(counter_.load(std::memory_order_seq_cst), 0);
 }
 
 size_t VersionControl::QueueSize() const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return queue_.size();
+  if (locked_core_) {
+    std::lock_guard<std::mutex> guard(mu_);
+    return queue_.size();
+  }
+  const uint64_t assigned = counter_.load(std::memory_order_acquire) - 1;
+  const uint64_t drained = drain_.load(std::memory_order_acquire);
+  const uint64_t skipped = gap_tns_.load(std::memory_order_acquire);
+  const uint64_t pending = assigned - drained;
+  return pending > skipped ? static_cast<size_t>(pending - skipped) : 0;
 }
 
 }  // namespace mvcc

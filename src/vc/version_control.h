@@ -4,6 +4,8 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <mutex>
 
 #include "common/ids.h"
@@ -47,14 +49,41 @@ enum class NumberingMode {
 //   Discard()  = VCdiscard()  : called on abort after registration.
 //   Complete() = VCcomplete() : called after commit + database update.
 //
+// Two interchangeable cores implement the contract:
+//
+//  * The RING core (kDense production path): tnc is an atomic fetch_add
+//    and the VCQueue is a fixed-size completion ring indexed by tn.
+//    Register stores an ACTIVE marker into slot tn % kRingSize;
+//    Complete/Discard store a resolved marker and then CAS-advance a
+//    drain cursor over the resolved prefix, raising vtnc (CAS-max) at
+//    each COMPLETED slot it consumes. Discarded numbers free their slot
+//    and let the drain pass, but never become vtnc themselves — exactly
+//    the std::map semantics. No mutex is touched on the hot path; the
+//    condition variable is reserved for the slow waiters (StartAtLeast,
+//    WaitNoActiveAtOrBelow, ring-full backpressure).
+//
+//  * The LOCKED core (mutex + std::map VcQueue): retained for
+//    kSiteTagged numbering — Promote() during distributed 2PC number
+//    agreement moves queue entries to non-dense numbers the ring cannot
+//    index — and for the literal-Figure-1 test knob, whose observable
+//    (QueueSize of a stalled suffix) is defined on the map.
+//
 // One deliberate deviation from the paper's pseudocode: Figure 1's
 // VCdiscard only removes the queue entry. If the discarded entry was the
 // head and the entries behind it had already completed, vtnc would stall
-// forever. Discard() therefore runs the same head-draining loop as
+// forever. Discard() therefore runs the same head-draining step as
 // Complete(). A unit test pins this scenario.
 class VersionControl {
  public:
-  explicit VersionControl(NumberingMode mode = NumberingMode::kDense);
+  // Slots in the ring core; registrations more than kRingSize ahead of
+  // the drain cursor wait for slots to free (backpressure on an
+  // unbounded commit/abort backlog).
+  static constexpr size_t kRingSize = 4096;
+
+  // `force_locked_core` pins the legacy mutex+map core even for kDense —
+  // the before/after baseline for bench_vc; never needed in production.
+  explicit VersionControl(NumberingMode mode = NumberingMode::kDense,
+                          bool force_locked_core = false);
   VersionControl(const VersionControl&) = delete;
   VersionControl& operator=(const VersionControl&) = delete;
 
@@ -79,6 +108,7 @@ class VersionControl {
   // Moves a registered-but-incomplete entry from `from` to the globally
   // agreed number `to` (to >= from) and ensures future local numbers
   // exceed `to`. Used during two-phase commit number agreement.
+  // Locked core only (kSiteTagged).
   void Promote(TxnNumber from, TxnNumber to);
 
   // Ensures every future Register() returns a number > `tn`. Used when a
@@ -111,8 +141,14 @@ class VersionControl {
   TxnNumber NextNumber() const;
 
   TxnNumber vtnc() const { return Start(); }
+
+  // Registered-but-not-yet-visible transactions. On the ring core this
+  // is (assigned - drained - skipped) and may transiently overcount by
+  // in-flight registrations; exact at quiesce.
   size_t QueueSize() const;
+
   NumberingMode mode() const { return mode_; }
+  bool ring_core() const { return !locked_core_; }
 
   // ---- Testing ----
 
@@ -120,10 +156,20 @@ class VersionControl {
   // and nothing else (no head drain, so a completed suffix behind a
   // discarded head stalls vtnc forever). Exists so the deterministic
   // simulator can demonstrate that the head-draining deviation is
-  // load-bearing; never set in production.
+  // load-bearing; never set in production. Must first be set before any
+  // registration: it pins the instance to the locked core (sticky), since
+  // the stalled-suffix observable is defined on the map queue.
   void SetLiteralFigure1DiscardForTest(bool literal);
 
  private:
+  // Ring slot encoding: (tn << 2) | state, 0 == free. A slot's full tn
+  // is kept (not just the state) so a reader can tell a resolved slot
+  // for tn apart from a stale or wrapped-around occupant.
+  static constexpr uint64_t kRingMask = kRingSize - 1;
+  static constexpr uint64_t kSlotActive = 1;
+  static constexpr uint64_t kSlotComplete = 2;
+  static constexpr uint64_t kSlotDiscarded = 3;
+
   TxnNumber MakeNumber(uint64_t counter, uint32_t tiebreak) const {
     return mode_ == NumberingMode::kDense ? counter
                                           : (counter << 32) | tiebreak;
@@ -132,12 +178,58 @@ class VersionControl {
     return mode_ == NumberingMode::kDense ? tn : tn >> 32;
   }
 
+  // ---- locked core ----
+  TxnNumber RegisterLocked(TxnId txn, uint32_t tiebreak);
+  void DiscardLocked(TxnNumber tn);
+  void CompleteLocked(TxnNumber tn);
+
+  // ---- ring core ----
+  void RingResolve(TxnNumber tn, uint64_t state);
+  // Consumes the resolved prefix: CAS-advances drain_, frees slots, and
+  // CAS-maxes vtnc_ at completed slots. Safe from any thread; must NOT
+  // be called with mu_ held (TryJumpGap locks it).
+  void RingDrain();
+  // drain_ is parked at d and slot d+1 is free: if [d+1, ...] is a
+  // recorded never-assigned range (AdvanceCounterPast), jump over it.
+  // Returns true if the caller should retry the drain loop.
+  bool TryJumpGap(TxnNumber d);
+  void AdvanceVtncTo(TxnNumber target);
+  // Any active (or in-flight-registering) number in (drain_, sn]?
+  // Caller holds mu_ (consults gaps_).
+  bool RingHasActiveAtOrBelowLocked(TxnNumber sn) const;
+  // Complete/Discard wake StartAtLeast / WaitNoActiveAtOrBelow /
+  // ring-full sleepers — only when any exist (waiters_ > 0).
+  void WakeWaitersIfAny();
+
   const NumberingMode mode_;
+  bool locked_core_;                      // fixed before any concurrency
   bool literal_figure1_discard_ = false;  // testing only, see setter
-  mutable std::mutex mu_;
-  std::condition_variable cv_;  // signaled on Complete/Discard and vtnc moves
-  uint64_t counter_ = 1;        // tnc (counter part)
+
+  // tnc (counter part). fetch_add is the whole Register fast path on the
+  // ring core; the locked core serializes mutations under mu_ but keeps
+  // the atomic so NextNumber stays lock-free.
+  std::atomic<uint64_t> counter_{1};
   std::atomic<TxnNumber> vtnc_{0};
+
+  // Ring core state. drain_ = highest tn whose slot has been consumed:
+  // every number <= drain_ is complete, discarded, or never assigned.
+  // vtnc_ <= drain_ always; they differ where the drained prefix ends in
+  // discarded/never-assigned numbers (those do not advance visibility).
+  std::unique_ptr<std::atomic<uint64_t>[]> ring_;
+  std::atomic<TxnNumber> drain_{0};
+  // Never-assigned ranges created by AdvanceCounterPast counter jumps:
+  // first -> last, guarded by mu_. gap_count_/gap_tns_ are lock-free
+  // summaries so the drain only locks when a gap actually exists.
+  std::map<TxnNumber, TxnNumber> gaps_;
+  std::atomic<uint64_t> gap_count_{0};
+  std::atomic<uint64_t> gap_tns_{0};
+  // Slow sleepers currently inside a cv wait (Dekker-style pairing with
+  // the seq_cst vtnc/drain updates, so a wakeup is never missed).
+  std::atomic<int> waiters_{0};
+
+  // Locked core state + slow-waiter condvar (both cores).
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // signaled on Complete/Discard/vtnc moves
   VcQueue queue_;
 };
 

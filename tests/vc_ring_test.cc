@@ -1,0 +1,411 @@
+// The lock-free completion-ring core of VersionControl, and the shared
+// commit pipeline built on top of it.
+//
+// The concurrent tests here are the TSan targets for the ring: they
+// hammer Register/Complete/Discard from many threads while a sampler
+// asserts, from outside, the two properties the paper names —
+//
+//   vtnc monotonicity        vtnc never moves backwards;
+//   Transaction Visibility   whenever vtnc = v is observed, every
+//                            transaction numbered <= v has resolved
+//                            (completed or discarded), and v itself is a
+//                            COMPLETED number (discards never become
+//                            vtnc).
+//
+// plus the head-drain deviation (a discarded head must not stall a
+// completed suffix), ring wraparound, ring-full backpressure, and the
+// gap machinery AdvanceCounterPast leaves behind. The final section
+// drives the group-commit pipeline end to end and sweeps it under the
+// deterministic explorer with the full oracle stack.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "sim/explorer.h"
+#include "txn/database.h"
+#include "vc/version_control.h"
+
+namespace mvcc {
+namespace {
+
+// ---- concurrent stress: monotonicity + visibility property ----
+
+constexpr uint8_t kUnresolved = 0;
+constexpr uint8_t kCompleted = 1;
+constexpr uint8_t kDiscarded = 2;
+
+TEST(VcRing, StressVisibilityPropertyUnderConcurrentResolves) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 4000;
+  constexpr uint64_t kMaxTn = kThreads * kPerThread + 1;
+
+  VersionControl vc;  // kDense -> ring core
+  ASSERT_TRUE(vc.ring_core());
+
+  // resolved[tn] is written BEFORE the Complete/Discard call for tn, so
+  // any vtnc value v published by the ring (acquire-read by the sampler)
+  // must find resolved[t] != kUnresolved for every t <= v.
+  std::vector<std::atomic<uint8_t>> resolved(kMaxTn + 1);
+  for (auto& r : resolved) r.store(kUnresolved, std::memory_order_relaxed);
+
+  std::atomic<bool> stop{false};
+  std::thread sampler([&] {
+    TxnNumber last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const TxnNumber v = vc.vtnc();
+      ASSERT_GE(v, last) << "vtnc moved backwards";
+      if (v > last) {
+        // New visibility horizon: everything at or below it resolved,
+        // and the horizon itself is a completed transaction.
+        ASSERT_EQ(resolved[v].load(std::memory_order_acquire), kCompleted)
+            << "vtnc " << v << " is not a completed tn";
+        for (TxnNumber t = last + 1; t < v; ++t) {
+          ASSERT_NE(resolved[t].load(std::memory_order_acquire),
+                    kUnresolved)
+              << "tn " << t << " unresolved below vtnc " << v;
+        }
+        last = v;
+      }
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      Random rng(77 + w);
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        const TxnNumber tn = vc.Register(TxnId(w) + 1);
+        ASSERT_LE(tn, kMaxTn);
+        if ((rng.Next() & 3) == 0) {
+          resolved[tn].store(kDiscarded, std::memory_order_release);
+          vc.Discard(tn);
+        } else {
+          resolved[tn].store(kCompleted, std::memory_order_release);
+          vc.Complete(tn);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  sampler.join();
+
+  // Quiesced: the drain consumed every assigned number; vtnc is the
+  // highest completed one and the queue is empty.
+  EXPECT_EQ(vc.QueueSize(), 0u);
+  TxnNumber highest_completed = 0;
+  for (TxnNumber t = 1; t <= kThreads * kPerThread; ++t) {
+    ASSERT_NE(resolved[t].load(), kUnresolved);
+    if (resolved[t].load() == kCompleted) highest_completed = t;
+  }
+  EXPECT_EQ(vc.vtnc(), highest_completed);
+}
+
+// Registrations outrun completions by whole ring laps: slot reuse (and
+// the drain's CAS-based slot free) must never lose or double-count a
+// transaction.
+TEST(VcRing, WraparoundReusesSlotsAcrossManyLaps) {
+  VersionControl vc;
+  const uint64_t total = 3 * VersionControl::kRingSize + 17;
+  for (uint64_t i = 1; i <= total; ++i) {
+    const TxnNumber tn = vc.Register(1);
+    EXPECT_EQ(tn, i);
+    vc.Complete(tn);
+    EXPECT_EQ(vc.vtnc(), i);
+  }
+  EXPECT_EQ(vc.QueueSize(), 0u);
+}
+
+// The deviation from Figure 1's literal VCdiscard, on the ring core: a
+// completed suffix stuck behind a discarded head must drain.
+TEST(VcRing, DiscardedHeadDrainsCompletedSuffix) {
+  VersionControl vc;
+  const TxnNumber t1 = vc.Register(1);
+  const TxnNumber t2 = vc.Register(2);
+  const TxnNumber t3 = vc.Register(3);
+  vc.Complete(t2);
+  vc.Complete(t3);
+  EXPECT_EQ(vc.vtnc(), 0u);  // t1 still active gates visibility
+  vc.Discard(t1);
+  EXPECT_EQ(vc.vtnc(), t3);  // drain passed t1 without making it vtnc
+  EXPECT_EQ(vc.QueueSize(), 0u);
+}
+
+// A discarded number in the middle never becomes the visibility horizon.
+TEST(VcRing, DiscardNeverBecomesVtnc) {
+  VersionControl vc;
+  const TxnNumber t1 = vc.Register(1);
+  const TxnNumber t2 = vc.Register(2);
+  vc.Complete(t1);
+  EXPECT_EQ(vc.vtnc(), t1);
+  vc.Discard(t2);
+  EXPECT_EQ(vc.vtnc(), t1);  // drained past t2, horizon unchanged
+  const TxnNumber t3 = vc.Register(3);
+  vc.Complete(t3);
+  EXPECT_EQ(vc.vtnc(), t3);
+}
+
+// A registration more than kRingSize ahead of the drain cursor blocks
+// until a slot frees, then proceeds.
+TEST(VcRing, FullRingBackpressuresRegister) {
+  VersionControl vc;
+  std::vector<TxnNumber> tns;
+  for (uint64_t i = 0; i < VersionControl::kRingSize; ++i) {
+    tns.push_back(vc.Register(1));
+  }
+
+  std::atomic<bool> registered{false};
+  std::thread overflow([&] {
+    const TxnNumber tn = vc.Register(2);
+    registered.store(true, std::memory_order_release);
+    vc.Complete(tn);
+  });
+
+  // The ring is full: the overflow registration cannot have proceeded.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(registered.load(std::memory_order_acquire));
+
+  // Freeing the oldest slot unblocks it.
+  vc.Complete(tns.front());
+  overflow.join();
+  EXPECT_TRUE(registered.load());
+  for (size_t i = 1; i < tns.size(); ++i) vc.Complete(tns[i]);
+  EXPECT_EQ(vc.QueueSize(), 0u);
+  EXPECT_EQ(vc.vtnc(), VersionControl::kRingSize + 1);
+}
+
+// AdvanceCounterPast jumps the counter; the never-assigned range must
+// not stall the drain, wedge WaitNoActiveAtOrBelow, or inflate
+// QueueSize.
+TEST(VcRing, CounterJumpLeavesDrainableGap) {
+  VersionControl vc;
+  const TxnNumber t1 = vc.Register(1);
+  vc.Complete(t1);
+  vc.AdvanceCounterPast(100);
+  EXPECT_EQ(vc.NextNumber(), 101u);
+  vc.WaitNoActiveAtOrBelow(100);  // gap only: must not block
+  const TxnNumber t2 = vc.Register(2);
+  EXPECT_EQ(t2, 101u);
+  EXPECT_EQ(vc.QueueSize(), 1u);  // the gap is not "queued" work
+  vc.Complete(t2);
+  EXPECT_EQ(vc.vtnc(), t2);
+  EXPECT_EQ(vc.QueueSize(), 0u);
+}
+
+// Same, with the jump landing while transactions are in flight and the
+// post-jump transaction completing FIRST — the drain must hop the gap
+// only after the pre-jump prefix resolves.
+TEST(VcRing, GapDrainsOnlyAfterPrecedingPrefixResolves) {
+  VersionControl vc;
+  const TxnNumber t1 = vc.Register(1);
+  vc.AdvanceCounterPast(50);
+  const TxnNumber t2 = vc.Register(2);
+  EXPECT_EQ(t2, 51u);
+  vc.Complete(t2);
+  EXPECT_EQ(vc.vtnc(), 0u);  // t1 active: neither gap nor t2 visible
+  vc.Complete(t1);
+  EXPECT_EQ(vc.vtnc(), t2);
+  EXPECT_EQ(vc.QueueSize(), 0u);
+}
+
+TEST(VcRing, StartAtLeastWakesWhenVtncReachesTarget) {
+  VersionControl vc;
+  const TxnNumber t1 = vc.Register(1);
+  const TxnNumber t2 = vc.Register(2);
+
+  std::atomic<TxnNumber> got{0};
+  std::thread waiter([&] {
+    got.store(vc.StartAtLeast(t2), std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(got.load(std::memory_order_acquire), 0u);
+  vc.Complete(t1);
+  vc.Complete(t2);
+  waiter.join();
+  EXPECT_GE(got.load(), t2);
+}
+
+// Concurrent WaitNoActiveAtOrBelow against a churning ring: the wait
+// must return only once no ASSIGNED number at or below its bound is
+// still unresolved. (Numbers the scanner's own AdvanceCounterPast
+// jumped over are never assigned at all and stay kUnresolved forever —
+// that is not activity, and the gap machinery must let the wait pass
+// them.)
+constexpr uint8_t kAssigned = 3;
+
+TEST(VcRing, WaitNoActiveAtOrBelowUnderChurn) {
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 2000;
+  VersionControl vc;
+  // AdvanceCounterPast pushes assignments past kThreads * kPerThread;
+  // size generously and stop workers that run off the end.
+  const uint64_t kMaxTn = 4 * kThreads * kPerThread;
+  std::vector<std::atomic<uint8_t>> resolved(kMaxTn + 2);
+  for (auto& r : resolved) r.store(kUnresolved, std::memory_order_relaxed);
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      Random rng(7 + w);
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        const TxnNumber tn = vc.Register(TxnId(w) + 1);
+        ASSERT_LE(tn, kMaxTn);
+        resolved[tn].store(kAssigned, std::memory_order_release);
+        const uint8_t state = (rng.Next() & 7) == 0 ? kDiscarded : kCompleted;
+        resolved[tn].store(state, std::memory_order_release);
+        if (state == kDiscarded) {
+          vc.Discard(tn);
+        } else {
+          vc.Complete(tn);
+        }
+      }
+    });
+  }
+  std::thread scanner([&] {
+    Random rng(99);
+    for (int i = 0; i < 200; ++i) {
+      const TxnNumber sn = vc.vtnc() + 1 + rng.Uniform(16);
+      vc.AdvanceCounterPast(sn);
+      vc.WaitNoActiveAtOrBelow(sn);
+      const TxnNumber bound = std::min<TxnNumber>(sn, kMaxTn);
+      for (TxnNumber t = 1; t <= bound; ++t) {
+        ASSERT_NE(resolved[t].load(std::memory_order_acquire), kAssigned)
+            << "tn " << t << " still active after WaitNoActiveAtOrBelow("
+            << sn << ")";
+      }
+    }
+  });
+  for (auto& w : workers) w.join();
+  scanner.join();
+  EXPECT_EQ(vc.QueueSize(), 0u);
+}
+
+// The literal-Figure-1 knob pins the locked core (the stalled-suffix
+// observable is defined on the map queue) and must be set before any
+// registration.
+TEST(VcRing, LiteralFigure1KnobSwitchesToLockedCore) {
+  VersionControl vc;
+  EXPECT_TRUE(vc.ring_core());
+  vc.SetLiteralFigure1DiscardForTest(true);
+  EXPECT_FALSE(vc.ring_core());
+  const TxnNumber t1 = vc.Register(1);
+  const TxnNumber t2 = vc.Register(2);
+  vc.Complete(t2);
+  vc.Discard(t1);               // literal discard: no head drain
+  EXPECT_EQ(vc.vtnc(), 0u);     // the known stall the oracle catches
+  EXPECT_EQ(vc.QueueSize(), 1u);
+}
+
+// ---- the shared commit pipeline ----
+
+// Concurrent committers through one Database: every commit's batch is
+// durable (in the WAL) and the group-commit accounting holds —
+// batches_logged equals the number of logged commits while
+// groups_flushed never exceeds it (their gap is the batching win).
+TEST(VcRing, PipelineGroupCommitDurableBeforeVisible) {
+  DatabaseOptions opts;
+  opts.protocol = ProtocolKind::kVc2pl;
+  opts.preload_keys = 64;
+  opts.enable_wal = true;
+  Database db(opts);
+
+  constexpr int kThreads = 8;
+  constexpr int kTxnsPerThread = 200;
+  std::atomic<uint64_t> commits{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      Random rng(1234 + w);
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        auto txn = db.Begin(TxnClass::kReadWrite);
+        bool ok = txn->Write(rng.Uniform(64), "v").ok() &&
+                  txn->Write(rng.Uniform(64), "w").ok();
+        if (ok && txn->Commit().ok()) {
+          commits.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const uint64_t committed = commits.load();
+  ASSERT_GT(committed, 0u);
+  EXPECT_EQ(db.commit_pipeline().batches_logged(), committed);
+  EXPECT_LE(db.commit_pipeline().groups_flushed(),
+            db.commit_pipeline().batches_logged());
+  EXPECT_GE(db.commit_pipeline().groups_flushed(), 1u);
+
+  // Write-ahead-of-visibility at quiesce: every committed tn at or
+  // below vtnc has its batch in the log, exactly once.
+  const TxnNumber vtnc = db.version_control().vtnc();
+  std::vector<uint64_t> seen;
+  for (const CommitBatch& b : db.wal()->Batches()) {
+    EXPECT_LE(b.tn, vtnc);
+    seen.push_back(b.tn);
+  }
+  EXPECT_EQ(seen.size(), committed);
+  std::sort(seen.begin(), seen.end());
+  EXPECT_TRUE(std::adjacent_find(seen.begin(), seen.end()) == seen.end())
+      << "duplicate batch tn in the WAL";
+}
+
+// All four VC protocols route their epilogue through the pipeline; a
+// sequential sanity pass over each must log through it.
+TEST(VcRing, EveryVcProtocolLogsThroughThePipeline) {
+  for (ProtocolKind protocol :
+       {ProtocolKind::kVc2pl, ProtocolKind::kVcTo, ProtocolKind::kVcOcc,
+        ProtocolKind::kVcAdaptive}) {
+    DatabaseOptions opts;
+    opts.protocol = protocol;
+    opts.preload_keys = 8;
+    opts.enable_wal = true;
+    Database db(opts);
+    uint64_t committed = 0;
+    for (int i = 0; i < 20; ++i) {
+      auto txn = db.Begin(TxnClass::kReadWrite);
+      if (txn->Write(i % 8, "x").ok() && txn->Commit().ok()) ++committed;
+    }
+    EXPECT_GT(committed, 0u) << ProtocolKindName(protocol);
+    EXPECT_EQ(db.commit_pipeline().batches_logged(), committed)
+        << ProtocolKindName(protocol);
+    EXPECT_EQ(db.wal()->Batches().size(), committed)
+        << ProtocolKindName(protocol);
+  }
+}
+
+// ---- group commit under the deterministic explorer ----
+
+// Schedule exploration with the WAL on (and no crash injection): the
+// scheduler interleaves tasks at "pipeline.enqueue" so real multi-batch
+// groups form, and every execution is checked by the full oracle stack
+// (MVSG one-copy serializability, the Section 5.1 lemmas, vtnc
+// invariants, read-only wait-freedom).
+TEST(VcRing, ExplorerSweepOverGroupCommitPipeline) {
+  for (ProtocolKind protocol :
+       {ProtocolKind::kVc2pl, ProtocolKind::kVcTo, ProtocolKind::kVcOcc,
+        ProtocolKind::kVcAdaptive}) {
+    uint64_t total_commits = 0;
+    for (uint64_t seed = 1; seed <= 15; ++seed) {
+      sim::ExploreOptions opt;
+      opt.protocol = protocol;
+      opt.seed = seed;
+      opt.enable_wal = true;
+      const sim::SimReport report = sim::ExploreOnce(opt);
+      ASSERT_TRUE(report.ok())
+          << ProtocolKindName(protocol) << " seed " << seed << " "
+          << report.Summary();
+      total_commits += report.commits;
+    }
+    EXPECT_GT(total_commits, 15u) << ProtocolKindName(protocol);
+  }
+}
+
+}  // namespace
+}  // namespace mvcc
