@@ -116,8 +116,7 @@ Status Optimistic::Commit(TxnState* txn) {
   // (BeforeComplete) and completes with version control. Delaying the
   // retirement until after durability only keeps our entry visible to
   // concurrent validators a little longer — strictly conservative.
-  env_.pipeline->Commit(txn, this);
-  return Status::OK();
+  return env_.pipeline->Commit(txn, this);
 }
 
 void Optimistic::BeforeComplete(TxnState* txn) {

@@ -180,8 +180,7 @@ Status TimestampOrdering::Commit(TxnState* txn) {
   // commit(T): the shared pipeline performs the database updates (via
   // InstallOne, clearing pending and waking blocked reads per key),
   // group-commits the batch, then VCcomplete(T).
-  env_.pipeline->Commit(txn, this);
-  return Status::OK();
+  return env_.pipeline->Commit(txn, this);
 }
 
 bool TimestampOrdering::InstallOne(TxnState* txn, ObjectKey key) {

@@ -88,8 +88,7 @@ Status TwoPhaseLocking::Commit(TxnState* txn) {
   // the updates visible in serial order.
   txn->tn = env_.vc->Register(txn->id);
   txn->registered = true;
-  env_.pipeline->Commit(txn, this);
-  return Status::OK();
+  return env_.pipeline->Commit(txn, this);
 }
 
 void TwoPhaseLocking::BeforeComplete(TxnState* txn) {

@@ -40,6 +40,11 @@ struct EventCounters {
   // Deadlock victims (subset of rw_aborts under locking protocols).
   std::atomic<uint64_t> deadlock_aborts{0};
 
+  // Read-write commits that failed at the durability point (WAL append
+  // or fsync error): the transaction was rolled back before becoming
+  // visible (subset of rw_aborts).
+  std::atomic<uint64_t> durability_failures{0};
+
   // Plain-value snapshot for reporting.
   struct Snapshot {
     uint64_t ro_commits, rw_commits, ro_aborts, rw_aborts;
@@ -49,6 +54,7 @@ struct EventCounters {
     uint64_t ctl_entries_copied;
     uint64_t negotiation_rounds;
     uint64_t deadlock_aborts;
+    uint64_t durability_failures;
   };
 
   Snapshot Snap() const {
@@ -57,7 +63,7 @@ struct EventCounters {
         rw_aborts.load(),   ro_blocks.load(),  rw_blocks.load(),
         rw_aborts_caused_by_ro.load(),         ro_metadata_writes.load(),
         ctl_entries_copied.load(),             negotiation_rounds.load(),
-        deadlock_aborts.load()};
+        deadlock_aborts.load(),                durability_failures.load()};
   }
 
   void Reset() {
@@ -72,6 +78,7 @@ struct EventCounters {
     ctl_entries_copied = 0;
     negotiation_rounds = 0;
     deadlock_aborts = 0;
+    durability_failures = 0;
   }
 };
 

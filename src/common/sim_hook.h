@@ -37,6 +37,14 @@ namespace mvcc {
 //                    commit record; returning true simulates a crash at
 //                    that record boundary (the record and everything
 //                    after it never reach the "disk").
+//   OnEnvOp        - consulted by FaultyEnv (recovery/faulty_env.h)
+//                    before each mutating file-system syscall; returning
+//                    true simulates a whole-process crash at that
+//                    syscall (it and everything after it never reaches
+//                    the disk). `op` names the syscall ("append",
+//                    "sync", ...), `index` is its 0-based position in
+//                    the env's mutation order. Never yields; safe to
+//                    call under a lock.
 class SimHook {
  public:
   virtual ~SimHook() = default;
@@ -62,6 +70,11 @@ class SimHook {
   }
   virtual bool OnWalAppend(uint64_t tn) {
     (void)tn;
+    return false;
+  }
+  virtual bool OnEnvOp(const char* op, uint64_t index) {
+    (void)op;
+    (void)index;
     return false;
   }
 };

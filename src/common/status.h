@@ -18,6 +18,10 @@ enum class StatusCode {
   kInvalidArgument, // Caller misuse (e.g. write on a read-only transaction).
   kUnavailable,     // Resource temporarily unavailable (e.g. site down).
   kInternal,        // Invariant violation; indicates a bug.
+  kDataLoss,        // Durable state lost or unverifiable (failed fsync,
+                    // corrupt log record). Fail-stop: never retried.
+  kResourceExhausted, // Out of a recoverable resource (disk full). The
+                      // database degrades to read-only until space frees.
 };
 
 // Returns a stable human-readable name for `code`.
@@ -35,6 +39,10 @@ inline std::string_view StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }
@@ -64,6 +72,12 @@ class Status {
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
   }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
@@ -73,6 +87,10 @@ class Status {
   }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -2,11 +2,17 @@
 
 #include <cstring>
 
+#include "recovery/log_format.h"
+
 namespace mvcc {
 
 namespace {
 
-constexpr uint64_t kMagic = 0x4D564343434B3032ULL;  // "MVCCCK02"
+// CK03: CK02 plus a trailing CRC32C over every preceding byte, so a
+// checkpoint generation that rotted on disk is detected and recovery
+// can fall back to the previous generation instead of silently loading
+// corrupt state.
+constexpr uint64_t kMagic = 0x4D564343434B3033ULL;  // "MVCCCK03"
 
 void PutU64(std::string* out, uint64_t v) {
   char buf[8];
@@ -35,10 +41,23 @@ std::string Checkpoint::Serialize() const {
     PutU64(&out, e.value.size());
     out.append(e.value);
   }
+  const uint32_t crc = Crc32c(out.data(), out.size());
+  char buf[4];
+  std::memcpy(buf, &crc, 4);
+  out.append(buf, 4);
   return out;
 }
 
 Result<Checkpoint> Checkpoint::Deserialize(const std::string& image) {
+  if (image.size() < 12) {
+    return Status::InvalidArgument("checkpoint image too short");
+  }
+  const size_t body_size = image.size() - 4;
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, image.data() + body_size, 4);
+  if (Crc32c(image.data(), body_size) != stored_crc) {
+    return Status::DataLoss("checkpoint CRC mismatch");
+  }
   size_t pos = 0;
   uint64_t magic = 0;
   if (!GetU64(image, &pos, &magic) || magic != kMagic) {
@@ -55,14 +74,14 @@ Result<Checkpoint> Checkpoint::Deserialize(const std::string& image) {
     uint64_t len = 0;
     if (!GetU64(image, &pos, &e.key) || !GetU64(image, &pos, &e.version) ||
         !GetU64(image, &pos, &e.writer) || !GetU64(image, &pos, &len) ||
-        pos + len > image.size()) {
+        pos + len > body_size) {
       return Status::InvalidArgument("truncated checkpoint entry");
     }
     e.value.assign(image, pos, len);
     pos += len;
     out.entries.push_back(std::move(e));
   }
-  if (pos != image.size()) {
+  if (pos != body_size) {
     return Status::InvalidArgument("trailing bytes in checkpoint image");
   }
   return out;

@@ -1,0 +1,123 @@
+#include "recovery/checkpoint_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace mvcc {
+
+namespace {
+
+// Env-based atomic file write (the stdio twin lives in file_io.cc for
+// the in-memory harness): unique temp name -> append -> fsync file ->
+// rename -> fsync dir. Any failure leaves the previous generation
+// untouched.
+Status WriteFileAtomicEnv(Env* env, const std::string& dir,
+                          const std::string& final_name,
+                          const std::string& contents, uint64_t nonce) {
+  const std::string tmp =
+      dir + "/" + final_name + ".tmp." + std::to_string(nonce);
+  auto file = env->NewAppendableFile(tmp);
+  if (!file.ok()) return file.status();
+  Status s = (*file)->Append(contents);
+  if (s.ok()) s = (*file)->Sync();
+  Status close = (*file)->Close();
+  if (s.ok()) s = close;
+  if (s.ok()) s = env->RenameFile(tmp, dir + "/" + final_name);
+  if (s.ok()) s = env->SyncDir(dir);
+  if (!s.ok()) env->DeleteFile(tmp);  // best effort
+  return s;
+}
+
+// All checkpoint generations in `dir`, ascending.
+Result<std::vector<uint64_t>> ListGenerations(Env* env,
+                                              const std::string& dir) {
+  auto names = env->ListDir(dir);
+  if (!names.ok()) return names.status();
+  std::vector<uint64_t> seqs;
+  for (const std::string& name : *names) {
+    const uint64_t seq = ParseCheckpointFileName(name);
+    if (seq != 0) seqs.push_back(seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+}  // namespace
+
+std::string CheckpointFileName(uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ckpt-%010llu.mvcc",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+uint64_t ParseCheckpointFileName(const std::string& name) {
+  if (name.size() != 20 || name.compare(0, 5, "ckpt-") != 0 ||
+      name.compare(15, 5, ".mvcc") != 0) {
+    return 0;
+  }
+  uint64_t seq = 0;
+  for (size_t i = 5; i < 15; ++i) {
+    if (name[i] < '0' || name[i] > '9') return 0;
+    seq = seq * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return seq;
+}
+
+Result<uint64_t> SaveCheckpointDurable(Env* env, const std::string& dir,
+                                       const Checkpoint& checkpoint) {
+  Status s = env->CreateDirIfMissing(dir);
+  if (!s.ok()) return s;
+  auto seqs = ListGenerations(env, dir);
+  if (!seqs.ok()) return seqs.status();
+  const uint64_t next = seqs->empty() ? 1 : seqs->back() + 1;
+  s = WriteFileAtomicEnv(env, dir, CheckpointFileName(next),
+                         checkpoint.Serialize(), next);
+  if (!s.ok()) return s;
+  // Keep the two newest generations (fallback target); prune the rest.
+  // Deletion failures are harmless — stale generations are just space.
+  for (uint64_t seq : *seqs) {
+    if (seq + 1 < next) env->DeleteFile(dir + "/" + CheckpointFileName(seq));
+  }
+  return next;
+}
+
+Result<Checkpoint> LoadLatestCheckpoint(Env* env, const std::string& dir,
+                                        CheckpointLoadReport* report) {
+  CheckpointLoadReport local;
+  if (report == nullptr) report = &local;
+  *report = CheckpointLoadReport{};
+  if (!env->FileExists(dir)) {
+    return Status::NotFound("no checkpoint directory: " + dir);
+  }
+  auto seqs = ListGenerations(env, dir);
+  if (!seqs.ok()) return seqs.status();
+  report->generations_seen = seqs->size();
+  for (auto it = seqs->rbegin(); it != seqs->rend(); ++it) {
+    const std::string path = dir + "/" + CheckpointFileName(*it);
+    auto image = env->ReadFileToString(path);
+    if (!image.ok()) {
+      ++report->generations_bad;
+      report->detail += path + ": " + image.status().ToString() + "; ";
+      continue;
+    }
+    Result<Checkpoint> checkpoint = Checkpoint::Deserialize(*image);
+    if (!checkpoint.ok()) {
+      // CRC mismatch or framing damage: fall back to the previous
+      // generation — the WAL still holds everything past ITS vtnc,
+      // because truncation only ever ran against durably-written
+      // checkpoints.
+      ++report->generations_bad;
+      report->detail += path + ": " + checkpoint.status().ToString() + "; ";
+      continue;
+    }
+    report->loaded_generation = *it;
+    return checkpoint;
+  }
+  return Status::NotFound("no loadable checkpoint generation in " + dir +
+                          (report->detail.empty() ? "" : " (" +
+                           report->detail + ")"));
+}
+
+}  // namespace mvcc

@@ -1,0 +1,50 @@
+#ifndef MVCC_RECOVERY_CHECKPOINT_STORE_H_
+#define MVCC_RECOVERY_CHECKPOINT_STORE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "recovery/checkpoint.h"
+#include "recovery/env.h"
+
+namespace mvcc {
+
+// Durable checkpoint generations in a directory:
+//
+//   ckpt-0000000001.mvcc, ckpt-0000000002.mvcc, ...
+//
+// Each file is Checkpoint::Serialize() output (CRC-trailed) written with
+// the crash-safe pattern: write to a unique temp name, fsync the temp,
+// rename over the final name, fsync the directory. The two newest
+// generations are retained so that a generation corrupted on disk (CRC
+// mismatch at load) falls back to the previous one — the WAL then
+// replays the gap, since segments are only truncated up to the vtnc of
+// a checkpoint that was durably written.
+
+struct CheckpointLoadReport {
+  uint64_t generations_seen = 0;   // candidate files found
+  uint64_t generations_bad = 0;    // skipped (unreadable / CRC mismatch)
+  uint64_t loaded_generation = 0;  // 0 = none loaded
+  std::string detail;              // diagnosis of skipped generations
+};
+
+// "ckpt-0000000042.mvcc" for seq 42.
+std::string CheckpointFileName(uint64_t seq);
+// Sequence number, or 0 if `name` is not a checkpoint file.
+uint64_t ParseCheckpointFileName(const std::string& name);
+
+// Writes `checkpoint` as the next generation and prunes all but the two
+// newest. Returns the new generation number.
+Result<uint64_t> SaveCheckpointDurable(Env* env, const std::string& dir,
+                                       const Checkpoint& checkpoint);
+
+// Loads the newest generation that verifies, falling back across older
+// ones; each rejected generation is counted and described in `report`
+// (nullable). kNotFound when no generation loads.
+Result<Checkpoint> LoadLatestCheckpoint(Env* env, const std::string& dir,
+                                        CheckpointLoadReport* report);
+
+}  // namespace mvcc
+
+#endif  // MVCC_RECOVERY_CHECKPOINT_STORE_H_

@@ -1,0 +1,83 @@
+#ifndef MVCC_RECOVERY_ENV_H_
+#define MVCC_RECOVERY_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mvcc {
+
+// An append-only file handle. Append() buffers through the OS; nothing
+// is durable until Sync() returns OK. Implementations report ENOSPC as
+// kResourceExhausted and I/O errors as kDataLoss — the two failure
+// policies the commit pipeline distinguishes (degrade vs fail-stop).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(std::string_view data) = 0;
+
+  // fsync. A failed Sync is NEVER retried by callers (fsyncgate
+  // semantics: after a failed fsync the kernel may have dropped the
+  // dirty pages, so a later "successful" fsync proves nothing about
+  // this data). Implementations may fail every later call once one
+  // Sync has failed.
+  virtual Status Sync() = 0;
+
+  virtual Status Close() = 0;
+
+  // Bytes successfully appended through this handle (not necessarily
+  // durable).
+  virtual uint64_t offset() const = 0;
+};
+
+// File-system abstraction under the recovery/durability layer, in the
+// style of LevelDB's Env: the real PosixEnv talks to the actual disk,
+// and FaultyEnv (faulty_env.h) decorates any Env with deterministic
+// fault injection. Everything that must survive a crash — WAL segments,
+// checkpoint generations — goes through an Env, never through direct
+// stdio, so every syscall is a fault point the tests can enumerate.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  // Opens `path` for appending, creating it if missing. The returned
+  // handle's offset() starts at the current file size.
+  virtual Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) = 0;
+
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+
+  // Plain file names (no directories), unsorted.
+  virtual Result<std::vector<std::string>> ListDir(
+      const std::string& dir) = 0;
+
+  virtual Status DeleteFile(const std::string& path) = 0;
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+  virtual Status CreateDirIfMissing(const std::string& dir) = 0;
+
+  // fsync of the directory itself: makes renames/creates/unlinks in it
+  // durable (a rename without a directory sync can vanish on power
+  // loss).
+  virtual Status SyncDir(const std::string& dir) = 0;
+};
+
+// The process-wide POSIX environment (O_APPEND files, fsync of file and
+// parent directory). Never deleted.
+Env* GetPosixEnv();
+
+// Directory component of `path` ("." when there is none) — for the
+// SyncDir-after-create/rename pattern.
+std::string EnvParentDir(const std::string& path);
+
+}  // namespace mvcc
+
+#endif  // MVCC_RECOVERY_ENV_H_

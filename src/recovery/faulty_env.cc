@@ -1,0 +1,292 @@
+#include "recovery/faulty_env.h"
+
+#include <algorithm>
+
+#include "common/sim_hook.h"
+
+namespace mvcc {
+
+namespace {
+
+Status CrashStatus(const char* op) {
+  return Status::DataLoss(std::string("injected crash at ") + op);
+}
+
+}  // namespace
+
+// Wraps a base WritableFile; each Append/Sync consults the env for the
+// fault to inject before touching the base file.
+class FaultyWritableFile final : public WritableFile {
+ public:
+  FaultyWritableFile(FaultyEnv* env, std::string path,
+                     std::unique_ptr<WritableFile> base)
+      : env_(env), path_(std::move(path)), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override {
+    const FaultKind fault = env_->NextOp("append");
+    switch (fault) {
+      case FaultKind::kCrash:
+        return CrashStatus("append");
+      case FaultKind::kEio:
+        return Status::DataLoss("injected EIO: write " + path_);
+      case FaultKind::kEnospc:
+        return Status::ResourceExhausted("injected ENOSPC: write " + path_);
+      case FaultKind::kTornWrite: {
+        // Persist a non-empty strict prefix — the classic torn tail the
+        // recovery scan must detect and salvage.
+        const size_t keep = std::max<size_t>(1, data.size() / 2);
+        Status s = AppendCharged(data.substr(0, keep));
+        if (!s.ok()) return s;
+        return Status::DataLoss("injected torn write: " + path_);
+      }
+      case FaultKind::kBitFlip: {
+        std::string corrupt(data);
+        if (!corrupt.empty()) corrupt[corrupt.size() / 2] ^= 0x10;
+        // The write "succeeds": the caller acknowledges the commit and
+        // only recovery's CRC scan can notice.
+        return AppendCharged(corrupt);
+      }
+      case FaultKind::kNone:
+        break;
+    }
+    if (env_->OverCapacity(data.size())) {
+      return Status::ResourceExhausted("injected ENOSPC (disk full): write " +
+                                       path_);
+    }
+    return AppendCharged(data);
+  }
+
+  Status Sync() override {
+    const FaultKind fault = env_->NextOp("sync");
+    switch (fault) {
+      case FaultKind::kCrash:
+        return CrashStatus("sync");
+      case FaultKind::kEio:
+      case FaultKind::kTornWrite:
+      case FaultKind::kBitFlip:
+        return Status::DataLoss("injected EIO: fsync " + path_);
+      case FaultKind::kEnospc:
+        return Status::ResourceExhausted("injected ENOSPC: fsync " + path_);
+      case FaultKind::kNone:
+        break;
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+  uint64_t offset() const override { return base_->offset(); }
+
+ private:
+  Status AppendCharged(std::string_view data) {
+    Status s = base_->Append(data);
+    if (s.ok()) env_->ChargeBytes(path_, data.size());
+    return s;
+  }
+
+  FaultyEnv* const env_;
+  const std::string path_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+FaultyEnv::FaultyEnv(Env* base) : base_(base) {}
+
+void FaultyEnv::FailAt(uint64_t index, FaultKind kind) {
+  std::lock_guard<std::mutex> guard(mu_);
+  by_index_[index] = kind;
+}
+
+void FaultyEnv::FailAtOp(const std::string& op, uint64_t nth, FaultKind kind) {
+  std::lock_guard<std::mutex> guard(mu_);
+  by_op_[op][nth] = kind;
+}
+
+void FaultyEnv::set_capacity_bytes(uint64_t bytes) {
+  std::lock_guard<std::mutex> guard(mu_);
+  capacity_bytes_ = bytes;
+}
+
+uint64_t FaultyEnv::op_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return next_index_;
+}
+
+uint64_t FaultyEnv::used_bytes() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return used_bytes_;
+}
+
+bool FaultyEnv::crashed() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return crashed_;
+}
+
+void FaultyEnv::ClearFaults() {
+  std::lock_guard<std::mutex> guard(mu_);
+  crashed_ = false;
+  by_index_.clear();
+  by_op_.clear();
+}
+
+FaultKind FaultyEnv::NextOp(const char* op) {
+  std::lock_guard<std::mutex> guard(mu_);
+  const uint64_t index = next_index_++;
+  const uint64_t nth_of_op = op_counts_[op]++;
+  if (crashed_) return FaultKind::kCrash;
+
+  FaultKind kind = FaultKind::kNone;
+  if (auto it = by_index_.find(index); it != by_index_.end()) {
+    kind = it->second;
+  } else if (auto op_it = by_op_.find(op); op_it != by_op_.end()) {
+    if (auto nth_it = op_it->second.find(nth_of_op);
+        nth_it != op_it->second.end()) {
+      kind = nth_it->second;
+    }
+  }
+  // The simulator's fault query can force a crash at any index even when
+  // nothing is armed explicitly (crash-matrix enumeration). Safe under
+  // mu_: OnEnvOp never yields.
+  if (kind == FaultKind::kNone) {
+    if (SimHook* hook = InstalledSimHook()) {
+      if (hook->OnEnvOp(op, index)) kind = FaultKind::kCrash;
+    }
+  }
+  if (kind == FaultKind::kCrash) crashed_ = true;
+  return kind;
+}
+
+void FaultyEnv::ChargeBytes(const std::string& path, uint64_t n) {
+  std::lock_guard<std::mutex> guard(mu_);
+  used_bytes_ += n;
+  file_bytes_[path] += n;
+}
+
+void FaultyEnv::CreditFile(const std::string& path) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = file_bytes_.find(path);
+  if (it == file_bytes_.end()) return;
+  used_bytes_ -= std::min(used_bytes_, it->second);
+  file_bytes_.erase(it);
+}
+
+bool FaultyEnv::OverCapacity(uint64_t extra) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return capacity_bytes_ != 0 && used_bytes_ + extra > capacity_bytes_;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultyEnv::NewAppendableFile(
+    const std::string& path) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (crashed_) return CrashStatus("open");
+  }
+  auto base = base_->NewAppendableFile(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<WritableFile>(std::make_unique<FaultyWritableFile>(
+      this, path, std::move(base).value()));
+}
+
+Result<std::string> FaultyEnv::ReadFileToString(const std::string& path) {
+  return base_->ReadFileToString(path);
+}
+
+bool FaultyEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Result<uint64_t> FaultyEnv::FileSize(const std::string& path) {
+  return base_->FileSize(path);
+}
+
+Result<std::vector<std::string>> FaultyEnv::ListDir(const std::string& dir) {
+  return base_->ListDir(dir);
+}
+
+Status FaultyEnv::DeleteFile(const std::string& path) {
+  switch (NextOp("delete")) {
+    case FaultKind::kCrash:
+      return CrashStatus("delete");
+    case FaultKind::kEio:
+    case FaultKind::kTornWrite:
+    case FaultKind::kBitFlip:
+      return Status::DataLoss("injected EIO: unlink " + path);
+    case FaultKind::kEnospc:
+      return Status::ResourceExhausted("injected ENOSPC: unlink " + path);
+    case FaultKind::kNone:
+      break;
+  }
+  Status s = base_->DeleteFile(path);
+  if (s.ok() || s.IsNotFound()) CreditFile(path);
+  return s;
+}
+
+Status FaultyEnv::RenameFile(const std::string& from, const std::string& to) {
+  switch (NextOp("rename")) {
+    case FaultKind::kCrash:
+      return CrashStatus("rename");
+    case FaultKind::kEio:
+    case FaultKind::kTornWrite:
+    case FaultKind::kBitFlip:
+      return Status::DataLoss("injected EIO: rename " + from);
+    case FaultKind::kEnospc:
+      return Status::ResourceExhausted("injected ENOSPC: rename " + from);
+    case FaultKind::kNone:
+      break;
+  }
+  Status s = base_->RenameFile(from, to);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (auto it = file_bytes_.find(from); it != file_bytes_.end()) {
+      file_bytes_[to] += it->second;
+      file_bytes_.erase(it);
+    }
+  }
+  return s;
+}
+
+Status FaultyEnv::TruncateFile(const std::string& path, uint64_t size) {
+  switch (NextOp("truncate")) {
+    case FaultKind::kCrash:
+      return CrashStatus("truncate");
+    case FaultKind::kEio:
+    case FaultKind::kTornWrite:
+    case FaultKind::kBitFlip:
+      return Status::DataLoss("injected EIO: truncate " + path);
+    case FaultKind::kEnospc:
+      return Status::ResourceExhausted("injected ENOSPC: truncate " + path);
+    case FaultKind::kNone:
+      break;
+  }
+  Status s = base_->TruncateFile(path, size);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> guard(mu_);
+    auto it = file_bytes_.find(path);
+    if (it != file_bytes_.end() && it->second > size) {
+      used_bytes_ -= std::min(used_bytes_, it->second - size);
+      it->second = size;
+    }
+  }
+  return s;
+}
+
+Status FaultyEnv::CreateDirIfMissing(const std::string& dir) {
+  if (NextOp("mkdir") == FaultKind::kCrash) return CrashStatus("mkdir");
+  return base_->CreateDirIfMissing(dir);
+}
+
+Status FaultyEnv::SyncDir(const std::string& dir) {
+  switch (NextOp("syncdir")) {
+    case FaultKind::kCrash:
+      return CrashStatus("syncdir");
+    case FaultKind::kEio:
+    case FaultKind::kTornWrite:
+    case FaultKind::kBitFlip:
+      return Status::DataLoss("injected EIO: fsync(dir) " + dir);
+    case FaultKind::kEnospc:
+      return Status::ResourceExhausted("injected ENOSPC: fsync(dir) " + dir);
+    case FaultKind::kNone:
+      break;
+  }
+  return base_->SyncDir(dir);
+}
+
+}  // namespace mvcc

@@ -1,31 +1,110 @@
 #include "recovery/file_io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "recovery/env.h"
+
 namespace mvcc {
+
+namespace {
+
+// Per-process counter making concurrent WriteFileAtomic calls against
+// the same target collision-free: each call gets its own temp name, so
+// one writer's rename can never publish another's half-written temp.
+std::atomic<uint64_t> g_tmp_nonce{0};
+
+Status FsyncFd(int fd, const std::string& what) {
+  if (::fsync(fd) != 0) {
+    return Status::Unavailable("fsync " + what + ": " +
+                               std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Status WriteFileAtomic(const std::string& path,
                        const std::string& contents) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::Unavailable("cannot open " + tmp + " for writing");
+  const uint64_t nonce =
+      g_tmp_nonce.fetch_add(1, std::memory_order_relaxed);
+  const std::string tmp = path + ".tmp." + std::to_string(nonce) + "." +
+                          std::to_string(static_cast<long>(::getpid()));
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::Unavailable("cannot open " + tmp + " for writing: " +
+                               std::strerror(errno));
+  }
+  const char* p = contents.data();
+  size_t left = contents.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::Unavailable("short write to " + tmp + ": " +
+                                 std::strerror(err));
     }
-    out.write(contents.data(),
-              static_cast<std::streamsize>(contents.size()));
-    out.flush();
-    if (!out) {
-      return Status::Unavailable("short write to " + tmp);
-    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  // The temp file must be ON DISK before the rename publishes it:
+  // rename-then-crash with unflushed data yields a published file full
+  // of zeros/garbage — exactly the half-written image this helper
+  // exists to prevent.
+  Status s = FsyncFd(fd, tmp);
+  if (::close(fd) != 0 && s.ok()) {
+    s = Status::Unavailable("close " + tmp + ": " + std::strerror(errno));
+  }
+  if (!s.ok()) {
+    ::unlink(tmp.c_str());
+    return s;
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::Unavailable("cannot rename " + tmp + " to " + path);
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return Status::Unavailable("cannot rename " + tmp + " to " + path +
+                               ": " + std::strerror(err));
   }
-  return Status::OK();
+  // And the rename itself must be durable: without a directory fsync a
+  // power cut can roll the directory entry back to the old file (or to
+  // nothing) even though the data blocks survived.
+  const std::string dir = EnvParentDir(path);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) {
+    return Status::Unavailable("open(dir) " + dir + ": " +
+                               std::strerror(errno));
+  }
+  s = FsyncFd(dfd, dir);
+  ::close(dfd);
+  return s;
+}
+
+uint64_t CleanupOrphanedTempFiles(const std::string& dir) {
+  Env* env = GetPosixEnv();
+  auto names = env->ListDir(dir);
+  if (!names.ok()) return 0;
+  uint64_t removed = 0;
+  for (const std::string& name : *names) {
+    // Temps are never published (publication IS the rename away from
+    // the temp name), so any survivor is debris from an interrupted
+    // writer.
+    if (name.find(".tmp.") != std::string::npos) {
+      if (env->DeleteFile(dir + "/" + name).ok()) ++removed;
+    }
+  }
+  if (removed > 0) env->SyncDir(dir);
+  return removed;
 }
 
 Result<std::string> ReadFile(const std::string& path) {

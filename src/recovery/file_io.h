@@ -1,6 +1,7 @@
 #ifndef MVCC_RECOVERY_FILE_IO_H_
 #define MVCC_RECOVERY_FILE_IO_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/result.h"
@@ -11,8 +12,16 @@ namespace mvcc {
 // checkpoint serializations). Writes go through a temp file + rename so
 // a crash during save never leaves a half-written image in place.
 
-// Writes `contents` to `path` atomically (temp file + rename).
+// Writes `contents` to `path` atomically AND durably: unique per-call
+// temp name -> write -> fsync(temp) -> rename -> fsync(parent dir).
+// After OK, a crash at any point leaves either the complete old file or
+// the complete new file — never a mix, never unflushed garbage.
 Status WriteFileAtomic(const std::string& path, const std::string& contents);
+
+// Deletes leftover "*.tmp.*" files in `dir` (debris of WriteFileAtomic
+// calls interrupted before their rename). Call once at startup before
+// trusting directory listings. Returns the number removed.
+uint64_t CleanupOrphanedTempFiles(const std::string& dir);
 
 // Reads the whole file.
 Result<std::string> ReadFile(const std::string& path);

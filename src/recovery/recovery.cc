@@ -6,6 +6,57 @@
 
 namespace mvcc {
 
+namespace {
+
+// Overlays checkpoint entries and replays WAL batches above the floor
+// into a freshly constructed database, then restores the VC counters.
+// Shared by the in-memory and durable recovery paths.
+TxnNumber ReplayInto(Database* db, const Checkpoint* checkpoint,
+                     const std::vector<CommitBatch>& batches,
+                     uint64_t* replayed) {
+  TxnNumber last_committed = 0;
+  if (checkpoint != nullptr) {
+    for (const CheckpointEntry& entry : checkpoint->entries) {
+      // Version 0 rows duplicate the preload; skip them if present.
+      VersionChain* chain = db->store().GetOrCreate(entry.key);
+      if (entry.version == 0 && chain->LatestNumber() == 0) continue;
+      chain->Install(Version{entry.version, entry.value, entry.writer});
+    }
+    last_committed = checkpoint->vtnc;
+  }
+  const TxnNumber floor = checkpoint != nullptr ? checkpoint->vtnc : 0;
+  for (const CommitBatch& batch : batches) {
+    // Batches at or below the checkpoint are already materialized.
+    if (batch.tn <= floor) continue;
+    for (const LoggedWrite& write : batch.writes) {
+      db->store().GetOrCreate(write.key)->Install(
+          Version{batch.tn, write.value, batch.txn});
+    }
+    if (replayed != nullptr) ++*replayed;
+    last_committed = std::max(last_committed, batch.tn);
+  }
+  db->version_control().RecoverTo(last_committed);
+  return last_committed;
+}
+
+// Removes leftovers of interrupted atomic writes ("*.tmp.*"). They are
+// unreferenced by construction — the rename that would have published
+// them never happened.
+uint64_t DeleteOrphanedTempFiles(Env* env, const std::string& dir) {
+  auto names = env->ListDir(dir);
+  if (!names.ok()) return 0;
+  uint64_t removed = 0;
+  for (const std::string& name : *names) {
+    if (name.find(".tmp.") != std::string::npos) {
+      if (env->DeleteFile(dir + "/" + name).ok()) ++removed;
+    }
+  }
+  if (removed > 0) env->SyncDir(dir);
+  return removed;
+}
+
+}  // namespace
+
 Checkpoint TakeCheckpoint(Database* db) {
   Checkpoint out;
   auto snapshot = db->Begin(TxnClass::kReadOnly);
@@ -29,31 +80,73 @@ std::unique_ptr<Database> RecoverDatabase(DatabaseOptions options,
                                           const Checkpoint* checkpoint,
                                           const WriteAheadLog& log) {
   auto db = std::make_unique<Database>(std::move(options));
-  TxnNumber last_committed = 0;
-
-  if (checkpoint != nullptr) {
-    for (const CheckpointEntry& entry : checkpoint->entries) {
-      // Version 0 rows duplicate the preload; skip them if present.
-      VersionChain* chain = db->store().GetOrCreate(entry.key);
-      if (entry.version == 0 && chain->LatestNumber() == 0) continue;
-      chain->Install(Version{entry.version, entry.value, entry.writer});
-    }
-    last_committed = checkpoint->vtnc;
-  }
-
-  const TxnNumber floor = checkpoint != nullptr ? checkpoint->vtnc : 0;
-  for (const CommitBatch& batch : log.Batches()) {
-    // Batches at or below the checkpoint are already materialized.
-    if (batch.tn <= floor) continue;
-    for (const LoggedWrite& write : batch.writes) {
-      db->store().GetOrCreate(write.key)->Install(
-          Version{batch.tn, write.value, batch.txn});
-    }
-    last_committed = std::max(last_committed, batch.tn);
-  }
-
-  db->version_control().RecoverTo(last_committed);
+  ReplayInto(db.get(), checkpoint, log.Batches(), nullptr);
   return db;
+}
+
+Result<std::unique_ptr<Database>> OpenDatabaseDurable(
+    DatabaseOptions options, Env* env, const std::string& dir,
+    const WalDurableOptions& wal_options, RecoveryReport* report) {
+  RecoveryReport local;
+  if (report == nullptr) report = &local;
+  *report = RecoveryReport{};
+
+  Status s = env->CreateDirIfMissing(dir);
+  if (!s.ok()) return s;
+  report->orphaned_temps_removed += DeleteOrphanedTempFiles(env, dir);
+  if (env->FileExists(dir + "/ckpt")) {
+    report->orphaned_temps_removed +=
+        DeleteOrphanedTempFiles(env, dir + "/ckpt");
+  }
+
+  Checkpoint checkpoint;
+  const Checkpoint* checkpoint_ptr = nullptr;
+  Result<Checkpoint> loaded =
+      LoadLatestCheckpoint(env, dir + "/ckpt", &report->checkpoint);
+  if (loaded.ok()) {
+    checkpoint = std::move(loaded).value();
+    checkpoint_ptr = &checkpoint;
+  } else if (!loaded.status().IsNotFound()) {
+    return loaded.status();
+  } else if (report->checkpoint.generations_seen > 0 &&
+             report->checkpoint.generations_bad ==
+                 report->checkpoint.generations_seen) {
+    // Generations existed but none verified: the WAL floor they
+    // promised is gone, so replaying from zero would silently lose the
+    // truncated prefix. Fail-stop rather than serve a hole.
+    return Status::DataLoss("all checkpoint generations corrupt: " +
+                            report->checkpoint.detail);
+  }
+
+  auto log = WriteAheadLog::OpenDurable(env, dir + "/wal", wal_options,
+                                        &report->wal);
+  if (!log.ok()) return log.status();
+
+  options.enable_wal = true;
+  auto db = std::make_unique<Database>(std::move(options),
+                                       std::move(log).value());
+  report->recovered_tn = ReplayInto(db.get(), checkpoint_ptr,
+                                    db->wal()->Batches(),
+                                    &report->replayed_batches);
+  if (checkpoint_ptr != nullptr) {
+    // Re-establish the truncation watermark (it is not persisted on its
+    // own — the durably-written checkpoint IS the watermark), deleting
+    // any segments the pre-crash truncation didn't get to.
+    db->wal()->Truncate(checkpoint_ptr->vtnc);
+  }
+  return db;
+}
+
+Result<uint64_t> CheckpointAndTruncateDurable(Database* db, Env* env,
+                                              const std::string& dir) {
+  Checkpoint checkpoint = TakeCheckpoint(db);
+  Result<uint64_t> seq =
+      SaveCheckpointDurable(env, dir + "/ckpt", checkpoint);
+  if (!seq.ok()) return seq;
+  // Only after the generation is durable may the WAL forget the prefix
+  // it covers. This also reprobes and lifts the ENOSPC degraded mode.
+  if (db->wal() != nullptr) db->wal()->Truncate(checkpoint.vtnc);
+  return seq;
 }
 
 }  // namespace mvcc

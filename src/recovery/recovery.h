@@ -2,8 +2,11 @@
 #define MVCC_RECOVERY_RECOVERY_H_
 
 #include <memory>
+#include <string>
 
 #include "recovery/checkpoint.h"
+#include "recovery/checkpoint_store.h"
+#include "recovery/env.h"
 #include "recovery/wal.h"
 #include "txn/database.h"
 
@@ -27,6 +30,42 @@ Checkpoint TakeCheckpoint(Database* db);
 std::unique_ptr<Database> RecoverDatabase(DatabaseOptions options,
                                           const Checkpoint* checkpoint,
                                           const WriteAheadLog& log);
+
+// What a durable open found and did. Every field is diagnostic only —
+// a non-OK open status is the authoritative failure signal.
+struct RecoveryReport {
+  WalOpenReport wal;                 // scan/salvage outcome per ISSUE 4
+  CheckpointLoadReport checkpoint;   // generation fallback outcome
+  uint64_t replayed_batches = 0;     // WAL records applied above floor
+  TxnNumber recovered_tn = 0;        // vtnc after recovery
+  uint64_t orphaned_temps_removed = 0;
+};
+
+// On-disk layout under `dir`:
+//   dir/wal/wal-*.log     checksummed WAL segments
+//   dir/ckpt/ckpt-*.mvcc  checkpoint generations (newest two kept)
+//
+// Opens (or creates) a durable database: loads the newest checkpoint
+// generation that CRC-verifies (falling back across generations),
+// scan-verifies the WAL — salvaging a torn tail or fail-stopping on
+// interior corruption per `wal_options.policy` — replays every record
+// above the checkpoint floor, and restores the version-control
+// counters. Handles a fresh directory and a post-crash directory
+// uniformly. The returned database keeps the opened WAL as its live
+// log: commits append durably, and Database::Health() reflects the
+// log's failure state (kDataLoss fail-stop / kResourceExhausted
+// degraded read-only).
+Result<std::unique_ptr<Database>> OpenDatabaseDurable(
+    DatabaseOptions options, Env* env, const std::string& dir,
+    const WalDurableOptions& wal_options, RecoveryReport* report);
+
+// Takes a checkpoint of the running durable database, writes it as a
+// new generation (crash-safe temp+rename+dir-sync), then truncates the
+// WAL up to the checkpoint's vtnc — deleting covered segments, which is
+// what frees space and lifts the ENOSPC degraded mode. Returns the new
+// generation number.
+Result<uint64_t> CheckpointAndTruncateDurable(Database* db, Env* env,
+                                              const std::string& dir);
 
 }  // namespace mvcc
 

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/sim_hook.h"
+#include "recovery/env.h"
+#include "recovery/log_format.h"
 
 namespace mvcc {
 
@@ -43,26 +45,194 @@ bool GetString(const std::string& in, size_t* pos, std::string* s) {
 
 }  // namespace
 
-void WriteAheadLog::Append(CommitBatch batch) {
-  // Simulated crash at a record boundary: once fault injection decides
-  // the "disk" is gone, this and every later record is lost — the log
-  // image recovery sees is an exact prefix of the append sequence.
-  if (SimHook* hook = InstalledSimHook()) {
-    if (crashed_.load(std::memory_order_relaxed) ||
-        hook->OnWalAppend(batch.tn)) {
-      crashed_.store(true, std::memory_order_relaxed);
-      return;
-    }
-  }
-  std::lock_guard<std::mutex> guard(mu_);
-  max_tn_ = std::max(max_tn_, batch.tn);
-  batches_.push_back(std::move(batch));
+WriteAheadLog::~WriteAheadLog() {
+  if (file_) file_->Close();
 }
 
-void WriteAheadLog::AppendGroup(std::vector<CommitBatch> batches) {
-  // Per-record crash injection first, outside the lock: a crash keeps
-  // the durable prefix of the group and drops the rest, exactly as a
-  // sequence of Append calls would.
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::OpenDurable(
+    Env* env, const std::string& dir, const WalDurableOptions& options,
+    WalOpenReport* report) {
+  WalOpenReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = WalOpenReport{};
+
+  Status s = env->CreateDirIfMissing(dir);
+  if (!s.ok()) return s;
+
+  auto names = env->ListDir(dir);
+  if (!names.ok()) return names.status();
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  for (const std::string& name : *names) {
+    const uint64_t seq = ParseWalSegmentFileName(name);
+    if (seq != 0) segments.emplace_back(seq, name);
+  }
+  std::sort(segments.begin(), segments.end());
+
+  auto log = std::unique_ptr<WriteAheadLog>(new WriteAheadLog());
+  log->env_ = env;
+  log->dir_ = dir;
+  log->dopts_ = options;
+
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const bool last = (i + 1 == segments.size());
+    const std::string path = dir + "/" + segments[i].second;
+    auto image = env->ReadFileToString(path);
+    if (!image.ok()) return image.status();
+    WalScanResult scan = ScanWalSegment(*image, segments[i].second);
+    if (scan.tail == WalTailState::kCorrupt) {
+      return Status::DataLoss("WAL corruption: " + scan.detail);
+    }
+    if (scan.tail == WalTailState::kTorn) {
+      if (!last) {
+        // A torn record with whole valid segments after it cannot be a
+        // crashed final append — the log rotted in the middle.
+        return Status::DataLoss(
+            "WAL corruption: torn record in sealed segment: " + scan.detail);
+      }
+      if (options.policy == SalvagePolicy::kStrict) {
+        return Status::DataLoss("WAL torn tail (strict policy): " +
+                                scan.detail);
+      }
+      // Salvage: drop exactly the invalid suffix of the final segment.
+      const uint64_t torn = image->size() - scan.valid_bytes;
+      Status t = env->TruncateFile(path, scan.valid_bytes);
+      if (!t.ok()) return t;
+      report->salvaged = true;
+      report->torn_tail_bytes += torn;
+      report->detail = scan.detail;
+    }
+    TxnNumber seg_max = 0;
+    for (CommitBatch& batch : scan.batches) {
+      seg_max = std::max(seg_max, batch.tn);
+      log->max_tn_ = std::max(log->max_tn_, batch.tn);
+      log->batches_.push_back(std::move(batch));
+      ++report->records;
+    }
+    ++report->segments;
+    if (last) {
+      log->file_seq_ = segments[i].first;
+      log->file_path_ = path;
+      log->file_max_tn_ = seg_max;
+    } else {
+      log->sealed_.push_back({segments[i].first, path, seg_max});
+    }
+  }
+
+  if (segments.empty()) {
+    log->file_seq_ = 1;
+    log->file_path_ = dir + "/" + WalSegmentFileName(1);
+  }
+  auto file = env->NewAppendableFile(log->file_path_);
+  if (!file.ok()) return file.status();
+  log->file_ = std::move(file).value();
+  if (log->file_->offset() < kWalSegmentHeaderBytes) {
+    // Fresh segment, or a salvage that truncated away a partial magic.
+    s = log->file_->Append(EncodeWalSegmentHeader());
+    if (s.ok()) s = log->file_->Sync();
+    if (s.ok()) s = env->SyncDir(dir);
+    if (!s.ok()) return s;
+  }
+  return log;
+}
+
+Status WriteAheadLog::LatchFailStopLocked(const Status& cause) {
+  failed_ = true;
+  failed_reason_ = cause.message();
+  return Status::DataLoss(failed_reason_);
+}
+
+Status WriteAheadLog::RotateLocked() {
+  const uint64_t next = file_seq_ + 1;
+  const std::string path = dir_ + "/" + WalSegmentFileName(next);
+  auto created = env_->NewAppendableFile(path);
+  if (!created.ok()) return created.status();
+  std::unique_ptr<WritableFile> fresh = std::move(created).value();
+  Status s = fresh->Append(EncodeWalSegmentHeader());
+  if (s.ok()) s = fresh->Sync();
+  if (s.ok()) s = env_->SyncDir(dir_);
+  if (!s.ok()) {
+    fresh->Close();
+    env_->DeleteFile(path);  // best effort
+    return s;
+  }
+  file_->Close();
+  sealed_.push_back({file_seq_, file_path_, file_max_tn_});
+  file_ = std::move(fresh);
+  file_path_ = path;
+  file_seq_ = next;
+  file_max_tn_ = 0;
+  return Status::OK();
+}
+
+Status WriteAheadLog::DurableAppendLocked(const std::string& encoded,
+                                          TxnNumber group_max) {
+  if (failed_) return Status::DataLoss(failed_reason_);
+  if (space_exhausted_) return Status::ResourceExhausted(space_reason_);
+
+  const uint64_t pre_group_offset = file_->offset();
+  Status s = file_->Append(encoded);
+  if (s.ok()) {
+    s = file_->Sync();
+    if (!s.ok()) {
+      // fsyncgate: the kernel may already have dropped the dirty pages;
+      // retrying could "succeed" without the data being on disk. Latch
+      // fail-stop permanently.
+      return LatchFailStopLocked(s);
+    }
+  } else {
+    // The write failed partway: roll the segment back to the last
+    // acknowledged record boundary so the disk stays an exact prefix of
+    // the acknowledged commit order.
+    file_->Close();
+    file_.reset();
+    Status rollback = env_->TruncateFile(file_path_, pre_group_offset);
+    if (rollback.ok()) {
+      auto reopened = env_->NewAppendableFile(file_path_);
+      if (reopened.ok()) {
+        file_ = std::move(reopened).value();
+      } else {
+        rollback = reopened.status();
+      }
+    }
+    if (!rollback.ok()) {
+      return LatchFailStopLocked(Status::DataLoss(
+          s.message() + "; rollback also failed: " + rollback.message()));
+    }
+    if (s.IsResourceExhausted()) {
+      // Disk full, but the log is intact: recoverable degraded state.
+      space_exhausted_ = true;
+      space_reason_ = s.message();
+      return s;
+    }
+    return LatchFailStopLocked(s);
+  }
+
+  file_max_tn_ = std::max(file_max_tn_, group_max);
+  if (file_->offset() >= dopts_.segment_target_bytes) {
+    // The group is already durable — rotation trouble only affects
+    // future appends, so flag it without failing this commit.
+    Status rotate = RotateLocked();
+    if (rotate.IsResourceExhausted()) {
+      space_exhausted_ = true;
+      space_reason_ = rotate.message();
+    } else if (!rotate.ok()) {
+      LatchFailStopLocked(rotate);
+    }
+  }
+  return Status::OK();
+}
+
+Status WriteAheadLog::Append(CommitBatch batch) {
+  std::vector<CommitBatch> one;
+  one.push_back(std::move(batch));
+  return AppendGroup(std::move(one));
+}
+
+Status WriteAheadLog::AppendGroup(std::vector<CommitBatch> batches) {
+  if (batches.empty()) return Status::OK();
+  // Per-record crash injection first, outside the lock: a simulated
+  // crash keeps the durable prefix of the group and drops the rest,
+  // exactly as a sequence of Append calls would.
   size_t keep = batches.size();
   if (SimHook* hook = InstalledSimHook()) {
     keep = 0;
@@ -75,12 +245,26 @@ void WriteAheadLog::AppendGroup(std::vector<CommitBatch> batches) {
       ++keep;
     }
   }
-  if (keep == 0) return;
+  if (keep == 0) return Status::OK();
   std::lock_guard<std::mutex> guard(mu_);
+  if (env_ != nullptr) {
+    std::string encoded;
+    TxnNumber group_max = 0;
+    for (size_t i = 0; i < keep; ++i) {
+      encoded += EncodeWalRecord(batches[i]);
+      group_max = std::max(group_max, batches[i].tn);
+    }
+    Status s = DurableAppendLocked(encoded, group_max);
+    // The mirror only ever receives durably-acknowledged records, so
+    // visibility (driven off the mirror by the pipeline) can never
+    // advance past an unflushed record.
+    if (!s.ok()) return s;
+  }
   for (size_t i = 0; i < keep; ++i) {
     max_tn_ = std::max(max_tn_, batches[i].tn);
     batches_.push_back(std::move(batches[i]));
   }
+  return Status::OK();
 }
 
 std::vector<CommitBatch> WriteAheadLog::Batches() const {
@@ -115,6 +299,31 @@ void WriteAheadLog::Truncate(TxnNumber up_to) {
                                   return b.tn <= up_to;
                                 }),
                  batches_.end());
+  if (env_ == nullptr) return;
+
+  // Delete sealed segments wholly covered by the watermark — this is
+  // what actually frees disk space after a checkpoint.
+  bool deleted = false;
+  for (auto it = sealed_.begin(); it != sealed_.end();) {
+    if (it->max_tn <= truncated_up_to_) {
+      env_->DeleteFile(it->path);  // best effort; re-scanned if it stays
+      it = sealed_.erase(it);
+      deleted = true;
+    } else {
+      ++it;
+    }
+  }
+  if (deleted) env_->SyncDir(dir_);
+
+  if (space_exhausted_ && !failed_) {
+    // Reprobe writability by rotating to a fresh segment: if the magic
+    // can be written and fsynced, space is back and the degraded
+    // read-only mode lifts.
+    if (RotateLocked().ok()) {
+      space_exhausted_ = false;
+      space_reason_.clear();
+    }
+  }
 }
 
 TxnNumber WriteAheadLog::TruncatedUpTo() const {
@@ -130,6 +339,19 @@ size_t WriteAheadLog::size() const {
 TxnNumber WriteAheadLog::MaxTn() const {
   std::lock_guard<std::mutex> guard(mu_);
   return max_tn_;
+}
+
+Status WriteAheadLog::DurabilityHealth() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (failed_) return Status::DataLoss(failed_reason_);
+  if (space_exhausted_) return Status::ResourceExhausted(space_reason_);
+  return Status::OK();
+}
+
+uint64_t WriteAheadLog::SegmentCount() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (env_ == nullptr) return 0;
+  return sealed_.size() + 1;
 }
 
 std::string WriteAheadLog::Serialize() const {

@@ -9,33 +9,95 @@
 #include <vector>
 
 #include "common/result.h"
+#include "recovery/env.h"
 #include "recovery/log_record.h"
 
 namespace mvcc {
 
-// In-memory write-ahead log of committed read-write transactions, with a
-// portable string serialization standing in for the on-disk format. The
-// append of a CommitBatch is the simulated durability point: a "crash"
-// in tests drops the Database object and rebuilds it from this log (see
-// recovery.h). Thread-safe.
+// What recovery does with an invalid record at the tail of the last
+// segment (a torn write from a crash mid-append).
+enum class SalvagePolicy {
+  kSalvageTornTail,  // truncate the torn suffix and continue (default)
+  kStrict,           // fail-stop on ANY invalid record, even a torn tail
+};
+
+// Durability knobs for OpenDurable.
+struct WalDurableOptions {
+  SalvagePolicy policy = SalvagePolicy::kSalvageTornTail;
+  // Rotate to a fresh segment once the current one passes this size;
+  // Truncate() deletes whole sealed segments covered by a checkpoint.
+  uint64_t segment_target_bytes = 64 * 1024;
+};
+
+// What OpenDurable found on disk (surfaced through RecoveryReport).
+struct WalOpenReport {
+  uint64_t segments = 0;         // segment files scanned
+  uint64_t records = 0;          // valid records loaded
+  uint64_t torn_tail_bytes = 0;  // bytes truncated from a torn tail
+  bool salvaged = false;         // a torn tail was truncated
+  std::string detail;            // diagnosis of any non-clean tail
+};
+
+// Write-ahead log of committed read-write transactions. Two modes:
+//
+//  - In-memory (default constructor): the append is a simulated
+//    durability point; a "crash" in tests drops the Database and
+//    rebuilds it from this object (see recovery.h).
+//
+//  - Durable (OpenDurable): every append is additionally framed with a
+//    CRC32C header (log_format.h), written to an append-only segment
+//    file through an Env, and fsynced before it is acknowledged. The
+//    in-memory batch vector then acts as the serving mirror for
+//    Batches()/BatchesSince() and only ever contains records that are
+//    durable on disk — so visibility can never advance past an
+//    unflushed record.
+//
+// Failure policy in durable mode (ISSUE 4 / fsyncgate):
+//
+//  - A failed fsync is NEVER retried. The log latches into a permanent
+//    fail-stop state; every later append returns kDataLoss.
+//  - A failed write is rolled back by truncating the segment to the
+//    last acknowledged record boundary, so the on-disk log stays an
+//    exact prefix of the acknowledged commit order. If the error was
+//    ENOSPC the log enters a recoverable space-exhausted state
+//    (kResourceExhausted) that Truncate() clears once segment deletion
+//    frees space; any other error, or a failed rollback, latches
+//    fail-stop.
+//
+// Thread-safe.
 class WriteAheadLog {
  public:
   WriteAheadLog() = default;
+  ~WriteAheadLog();
   WriteAheadLog(const WriteAheadLog&) = delete;
   WriteAheadLog& operator=(const WriteAheadLog&) = delete;
 
-  // Appends one committed transaction atomically.
-  void Append(CommitBatch batch);
+  // Opens (or creates) a durable log in `dir`, scan-verifying every
+  // record of every segment:
+  //  - invalid record at the tail of the last segment = torn write:
+  //    truncated and salvaged under kSalvageTornTail (reported), error
+  //    under kStrict;
+  //  - invalid record followed by valid ones (or in a sealed segment) =
+  //    interior corruption: always kDataLoss with diagnostics.
+  static Result<std::unique_ptr<WriteAheadLog>> OpenDurable(
+      Env* env, const std::string& dir, const WalDurableOptions& options,
+      WalOpenReport* report);
 
-  // Appends a whole commit group atomically under ONE lock acquisition —
-  // the group-commit durability point of the shared commit pipeline.
-  // Observably equivalent to calling Append on each batch in order:
-  // fault injection (SimHook::OnWalAppend) still fires per record, so a
-  // simulated crash can land inside a group and lose exactly a suffix of
-  // it (the surviving log remains an exact prefix of the append order).
-  void AppendGroup(std::vector<CommitBatch> batches);
+  // Appends one committed transaction atomically. In durable mode the
+  // record is on disk (fsynced) when this returns OK; on error the
+  // transaction is NOT durable and must not become visible.
+  Status Append(CommitBatch batch);
 
-  // Snapshot of all batches currently in the log.
+  // Appends a whole commit group atomically under ONE lock acquisition
+  // and (durable mode) ONE fsync — the group-commit durability point of
+  // the shared commit pipeline. All-or-nothing on disk: on error the
+  // segment is rolled back to the pre-group boundary and no batch in
+  // the group is acknowledged. Fault injection (SimHook::OnWalAppend)
+  // still fires per record in in-memory mode, so a simulated crash can
+  // land inside a group and lose exactly a suffix of it.
+  Status AppendGroup(std::vector<CommitBatch> batches);
+
+  // Snapshot of all batches currently in the log (mirror).
   std::vector<CommitBatch> Batches() const;
 
   // Incremental tail for replication: all batches with tn > `after`,
@@ -47,7 +109,10 @@ class WriteAheadLog {
   Result<std::vector<CommitBatch>> BatchesSince(TxnNumber after) const;
 
   // Drops batches with tn <= `up_to` (they are covered by a checkpoint)
-  // and raises the truncation watermark to `up_to`.
+  // and raises the truncation watermark to `up_to`. Durable mode also
+  // deletes sealed segments wholly covered by the watermark and — if
+  // the log was space-exhausted — reprobes writability, clearing the
+  // degraded state once a fresh segment can be created.
   void Truncate(TxnNumber up_to);
 
   // Largest `up_to` ever passed to Truncate (0 if never truncated).
@@ -60,7 +125,16 @@ class WriteAheadLog {
   // the maximum unless the checkpoint covers it).
   TxnNumber MaxTn() const;
 
-  // ---- serialization (simulated disk image) ----
+  // Current failure state: OK, kResourceExhausted (disk full — degraded
+  // read-only until space frees), or kDataLoss (fail-stop).
+  Status DurabilityHealth() const;
+
+  bool durable() const { return env_ != nullptr; }
+
+  // Number of on-disk segment files (0 in in-memory mode).
+  uint64_t SegmentCount() const;
+
+  // ---- serialization (simulated disk image, in-memory mode) ----
 
   // Length-prefixed binary encoding of the whole log.
   std::string Serialize() const;
@@ -78,11 +152,39 @@ class WriteAheadLog {
   }
 
  private:
+  struct SealedSegment {
+    uint64_t seq = 0;
+    std::string path;
+    TxnNumber max_tn = 0;  // 0 = empty segment, deletable any time
+  };
+
+  // Durable write of pre-encoded records + fsync, with the rollback /
+  // latching policy above. Caller holds mu_.
+  Status DurableAppendLocked(const std::string& encoded, TxnNumber group_max);
+  // Seals the current segment and starts seq+1. Caller holds mu_.
+  Status RotateLocked();
+  // Latches the permanent fail-stop state. Caller holds mu_.
+  Status LatchFailStopLocked(const Status& cause);
+
   mutable std::mutex mu_;
   std::vector<CommitBatch> batches_;
   TxnNumber max_tn_ = 0;
   TxnNumber truncated_up_to_ = 0;
   std::atomic<bool> crashed_{false};
+
+  // ---- durable mode state (null/empty in in-memory mode) ----
+  Env* env_ = nullptr;
+  std::string dir_;
+  WalDurableOptions dopts_;
+  std::unique_ptr<WritableFile> file_;  // current segment, append mode
+  std::string file_path_;
+  uint64_t file_seq_ = 0;
+  TxnNumber file_max_tn_ = 0;  // max tn in the current segment
+  std::vector<SealedSegment> sealed_;
+  bool failed_ = false;  // permanent fail-stop (fsyncgate)
+  std::string failed_reason_;
+  bool space_exhausted_ = false;  // recoverable degraded state
+  std::string space_reason_;
 };
 
 }  // namespace mvcc

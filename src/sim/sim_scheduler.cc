@@ -29,6 +29,7 @@ std::string SimReport::Summary() const {
       << " aborts=" << aborts;
   if (deadlock) out << " DEADLOCK";
   if (wal_crashed) out << " wal-crash";
+  if (env_crashed) out << " env-crash";
   if (!violations.empty()) {
     out << " violations=" << violations.size() << " [";
     for (size_t i = 0; i < violations.size(); ++i) {
@@ -213,6 +214,20 @@ bool SimScheduler::OnWalAppend(uint64_t tn) {
   if (options_.faults.crash_at_wal_append >= 0 &&
       index >= options_.faults.crash_at_wal_append) {
     wal_crash_pending_.store(true, std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+bool SimScheduler::OnEnvOp(const char* op, uint64_t index) {
+  HashMix(0x3A2000ULL);
+  HashMixString(op);
+  HashMix(index);
+  if (options_.faults.crash_at_env_op >= 0 &&
+      (env_crashed_.load(std::memory_order_relaxed) ||
+       index >= static_cast<uint64_t>(options_.faults.crash_at_env_op))) {
+    env_crashed_.store(true, std::memory_order_relaxed);
+    report_.env_crashed = true;
     return true;
   }
   return false;

@@ -34,6 +34,13 @@ struct FaultPlan {
   // and all later ones are lost, tasks are torn down, and the caller
   // verifies recovery from the surviving prefix. -1 = never.
   int64_t crash_at_wal_append = -1;
+
+  // Crash the storage Env at the Nth mutating file-system syscall
+  // (0-based, counted by FaultyEnv across appends/syncs/renames/...):
+  // that syscall and every later one never reaches the disk. The caller
+  // then recovers from the directory as written and checks the
+  // durability oracle. -1 = never.
+  int64_t crash_at_env_op = -1;
 };
 
 // Outcome of one simulated execution, replayable from `seed`.
@@ -43,6 +50,7 @@ struct SimReport {
   uint64_t schedule_hash = 0;  // FNV-1a over the full interleaving
   bool deadlock = false;       // no task could make progress
   bool wal_crashed = false;    // fault plan crashed the WAL
+  bool env_crashed = false;    // fault plan crashed the storage Env
   uint64_t commits = 0;        // filled by the explorer
   uint64_t aborts = 0;
   std::vector<std::string> violations;
@@ -114,6 +122,7 @@ class SimScheduler final : public SimHook {
   bool ShouldDropMessage(int from_site, int to_site) override;
   uint32_t MessageDelaySteps(int from_site, int to_site) override;
   bool OnWalAppend(uint64_t tn) override;
+  bool OnEnvOp(const char* op, uint64_t index) override;
 
  private:
   struct Task {
@@ -156,6 +165,7 @@ class SimScheduler final : public SimHook {
   std::atomic<bool> kill_all_{false};
   std::atomic<bool> wal_crash_pending_{false};
   std::atomic<int64_t> wal_appends_{0};
+  std::atomic<bool> env_crashed_{false};
   bool ran_ = false;
 
   // Last observed vtnc per version-control instance (monotonicity).

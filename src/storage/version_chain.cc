@@ -61,6 +61,15 @@ void VersionChain::Install(Version v) {
   versions_.insert(it, std::move(v));
 }
 
+bool VersionChain::Remove(VersionNumber number) {
+  std::lock_guard<SpinLatch> guard(latch_);
+  auto it = std::lower_bound(versions_.begin(), versions_.end(), number,
+                             NumberLess);
+  if (it == versions_.end() || it->number != number) return false;
+  versions_.erase(it);
+  return true;
+}
+
 size_t VersionChain::Prune(VersionNumber watermark) {
   std::lock_guard<SpinLatch> guard(latch_);
   // Find newest version with number <= watermark; everything before it is

@@ -46,6 +46,13 @@ class VersionChain {
   // are tolerated because TO writers may commit out of tn order.
   void Install(Version v);
 
+  // Removes the version with exactly `number`, if present. Returns true
+  // if a version was removed. Used by the commit pipeline to roll back
+  // installed-but-not-durable versions when the write-ahead append
+  // fails: the version was never visible (vtnc cannot have covered it —
+  // its transaction never completed), so removal is safe.
+  bool Remove(VersionNumber number);
+
   // Removes all versions strictly older than the newest version whose
   // number is <= `watermark`. That newest-visible version is retained so
   // readers with sn >= watermark still find their snapshot. Returns the

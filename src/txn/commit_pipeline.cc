@@ -25,7 +25,7 @@ void CommitPipeline::MaybePauseInstall() {
   }
 }
 
-void CommitPipeline::Commit(TxnState* txn, CommitParticipant* participant) {
+Status CommitPipeline::Commit(TxnState* txn, CommitParticipant* participant) {
   // 1. Perform database updates with version number tn(T).
   for (ObjectKey key : txn->write_order) {
     MaybePauseInstall();
@@ -35,15 +35,32 @@ void CommitPipeline::Commit(TxnState* txn, CommitParticipant* participant) {
     }
   }
   // 2. Durability: the write-ahead point precedes visibility.
-  LogDurable(txn);
+  Status durable = LogDurable(txn);
+  if (!durable.ok()) {
+    // The commit never became durable; it must never become visible.
+    // Remove the versions installed in step 1 — no reader can hold
+    // them, since vtnc cannot advance past an incomplete transaction
+    // and tn(T) will now be discarded, not completed. (TO's w-ts bump
+    // from InstallOne stays behind: a conservatively large w-ts only
+    // costs spurious aborts, never correctness.)
+    for (ObjectKey key : txn->write_order) {
+      VersionChain* chain = store_->Find(key);
+      if (chain != nullptr) chain->Remove(txn->tn);
+    }
+    // 2PL must still release its locks, OCC retire its validation entry.
+    if (participant != nullptr) participant->BeforeComplete(txn);
+    vc_->Discard(txn->tn);
+    return durable;
+  }
   // 3. Protocol cleanup that must precede visibility (2PL lock release).
   if (participant != nullptr) participant->BeforeComplete(txn);
   // 4. Make the updates visible in serial order.
   vc_->Complete(txn->tn);
+  return Status::OK();
 }
 
-void CommitPipeline::LogDurable(TxnState* txn) {
-  if (wal_ == nullptr || txn->write_order.empty()) return;
+Status CommitPipeline::LogDurable(TxnState* txn) {
+  if (wal_ == nullptr || txn->write_order.empty()) return Status::OK();
   CommitBatch batch;
   batch.txn = txn->id;
   batch.tn = txn->tn;
@@ -52,10 +69,11 @@ void CommitPipeline::LogDurable(TxnState* txn) {
     batch.writes.push_back(LoggedWrite{key, txn->write_set[key]});
   }
 
+  auto result = std::make_shared<Status>();
   uint64_t my_seq = 0;
   {
     std::lock_guard<std::mutex> guard(mu_);
-    pending_.push_back(std::move(batch));
+    pending_.push_back(PendingEntry{std::move(batch), result});
     my_seq = ++enqueued_seq_;
   }
   batches_logged_.fetch_add(1, std::memory_order_relaxed);
@@ -69,12 +87,24 @@ void CommitPipeline::LogDurable(TxnState* txn) {
     if (!flush_active_) {
       // Become the leader: flush everything pending as one group.
       flush_active_ = true;
+      std::vector<PendingEntry> taken;
+      taken.swap(pending_);
       std::vector<CommitBatch> group;
-      group.swap(pending_);
-      const uint64_t count = group.size();
+      group.reserve(taken.size());
+      for (PendingEntry& entry : taken) {
+        group.push_back(std::move(entry.batch));
+      }
+      const uint64_t count = taken.size();
       lock.unlock();
-      wal_->AppendGroup(std::move(group));
+      // On failure the WAL rolled the WHOLE group back (or latched
+      // fail-stop): no batch in it is durable, so the verdict fans out
+      // to every committer in the group. Fail-stop statuses are sticky
+      // inside the WAL itself — no retry happens here (fsyncgate).
+      Status append = wal_->AppendGroup(std::move(group));
       lock.lock();
+      for (PendingEntry& entry : taken) {
+        *entry.result = append;
+      }
       // Flushes are FIFO (one leader at a time takes the whole queue),
       // so these `count` batches are exactly the next `count` sequence
       // numbers after durable_seq_.
@@ -89,6 +119,7 @@ void CommitPipeline::LogDurable(TxnState* txn) {
       SimAwareCvWait(cv_, lock, "pipeline.group_wait");
     }
   }
+  return *result;
 }
 
 }  // namespace mvcc

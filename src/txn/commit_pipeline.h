@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -84,7 +85,16 @@ class CommitPipeline {
   // The epilogue. The caller has decided commit and registered the
   // transaction (txn->tn assigned). `participant` may be null for a
   // protocol with no install/pre-visibility hooks.
-  void Commit(TxnState* txn, CommitParticipant* participant = nullptr);
+  //
+  // Failure policy (ISSUE 4): if the durable append fails, the commit
+  // MUST NOT become visible — the installed versions are removed again,
+  // BeforeComplete still runs (2PL must release its locks), and the
+  // transaction's number is Discarded instead of Completed, so vtnc
+  // never covers an unflushed record. Returns the WAL's verdict:
+  // kDataLoss (fail-stop — the leader's fsync failed and is never
+  // retried) or kResourceExhausted (disk full; retryable after space
+  // frees). OK means the commit is durable and visible.
+  Status Commit(TxnState* txn, CommitParticipant* participant = nullptr);
 
   // ---- introspection (tests / bench) ----
 
@@ -100,8 +110,10 @@ class CommitPipeline {
  private:
   void MaybePauseInstall();
   // Blocks until the transaction's commit batch is durable (group
-  // commit). No-op without a log or with an empty write set.
-  void LogDurable(TxnState* txn);
+  // commit) and returns the append status of the group that contained
+  // it — a failed group fails every batch in it, since the WAL rolled
+  // the whole group back. No-op without a log or an empty write set.
+  Status LogDurable(TxnState* txn);
 
   ObjectStore* const store_;
   VersionControl* const vc_;
@@ -110,9 +122,16 @@ class CommitPipeline {
 
   // Group-commit state. Batches enqueue in FIFO order under mu_; a
   // single leader at a time swaps out the whole queue and appends it.
+  // Each entry carries its committer's result slot: the leader writes
+  // the group's append status into every slot it flushed, so a follower
+  // learns its own group's fate even if later groups resolved first.
+  struct PendingEntry {
+    CommitBatch batch;
+    std::shared_ptr<Status> result;
+  };
   std::mutex mu_;
   std::condition_variable cv_;
-  std::vector<CommitBatch> pending_;
+  std::vector<PendingEntry> pending_;
   uint64_t enqueued_seq_ = 0;  // total batches ever enqueued
   uint64_t durable_seq_ = 0;   // total batches flushed to the log
   bool flush_active_ = false;  // a leader is inside AppendGroup

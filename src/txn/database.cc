@@ -65,11 +65,18 @@ std::unique_ptr<Protocol> MakeProtocol(const DatabaseOptions& options,
 }  // namespace
 
 Database::Database(DatabaseOptions options)
+    : Database(std::move(options), nullptr) {}
+
+Database::Database(DatabaseOptions options,
+                   std::unique_ptr<WriteAheadLog> wal)
     : options_(std::move(options)), store_(options_.store_shards) {
   if (options_.preload_keys > 0) {
     store_.Preload(options_.preload_keys, options_.initial_value);
   }
-  if (options_.enable_wal) {
+  if (wal != nullptr) {
+    options_.enable_wal = true;
+    wal_ = std::move(wal);
+  } else if (options_.enable_wal) {
     wal_ = std::make_unique<WriteAheadLog>();
   }
   CommitPipeline::Options popt;
@@ -117,6 +124,26 @@ std::unique_ptr<Transaction> Database::Begin(TxnClass cls) {
   assert(s.ok());
   (void)s;
   return txn;
+}
+
+Result<std::unique_ptr<Transaction>> Database::TryBegin(TxnClass cls) {
+  if (cls != TxnClass::kReadOnly) {
+    Status health = Health();
+    if (health.IsResourceExhausted()) {
+      return Status::ResourceExhausted(
+          "database is degraded read-only (disk full): " + health.message());
+    }
+    if (!health.ok()) {
+      return Status::DataLoss("database is fail-stopped: " +
+                              health.message());
+    }
+  }
+  return Begin(cls);
+}
+
+Status Database::Health() const {
+  if (wal_ == nullptr) return Status::OK();
+  return wal_->DurabilityHealth();
 }
 
 std::unique_ptr<Transaction> Database::BeginReadOnlyAtLeast(
@@ -248,7 +275,18 @@ Status Database::DoCommit(TxnState* state) {
   }
   Status s = protocol_->Commit(state);
   if (!s.ok()) {
-    if (s.IsAborted()) DoAbort(state);
+    if (s.IsAborted()) {
+      DoAbort(state);
+    } else if (s.IsDataLoss() || s.IsResourceExhausted()) {
+      // Durability failure: the commit pipeline already rolled back the
+      // installed versions, released protocol resources and discarded
+      // tn(T) — the transaction is fully finished, just unsuccessfully.
+      // Do NOT route through DoAbort/protocol Abort: the protocol's
+      // commit-side cleanup has run and its abort path would double-free.
+      state->finished = true;
+      counters_.durability_failures.fetch_add(1, std::memory_order_relaxed);
+      counters_.rw_aborts.fetch_add(1, std::memory_order_relaxed);
+    }
     return s;
   }
   state->finished = true;
@@ -277,7 +315,15 @@ Status Database::DoCommit(TxnState* state) {
       for (ObjectKey key : state->write_order) {
         batch.writes.push_back(LoggedWrite{key, state->write_set[key]});
       }
-      wal_->Append(std::move(batch));
+      Status logged = wal_->Append(std::move(batch));
+      if (!logged.ok()) {
+        // Baselines have no pre-visibility durability point to unwind;
+        // surface the failure (the in-memory commit stands, but it is
+        // not durable — the caller must treat it as lost).
+        counters_.durability_failures.fetch_add(1,
+                                                std::memory_order_relaxed);
+        return logged;
+      }
     }
   }
   if (options_.record_history) RecordHistory(*state);

@@ -93,6 +93,12 @@ struct DatabaseOptions {
 class Database {
  public:
   explicit Database(DatabaseOptions options);
+
+  // Adopts a pre-opened write-ahead log (typically a durable one from
+  // WriteAheadLog::OpenDurable via OpenDatabaseDurable). Implies
+  // enable_wal; the log's existing contents are NOT replayed here —
+  // recovery does that explicitly.
+  Database(DatabaseOptions options, std::unique_ptr<WriteAheadLog> wal);
   ~Database();
 
   Database(const Database&) = delete;
@@ -101,6 +107,22 @@ class Database {
   // Starts a transaction. Unknown workloads must use kReadWrite
   // (Section 4.1: unknown category defaults to read-write).
   std::unique_ptr<Transaction> Begin(TxnClass cls);
+
+  // Storage-failure-aware Begin. Read-write transactions are refused
+  // while the database is degraded:
+  //   kResourceExhausted - the WAL hit disk-full; read-only
+  //     transactions continue at the current vtnc, and the state
+  //     auto-clears once checkpoint truncation frees space
+  //     (CheckpointAndTruncateDurable).
+  //   kDataLoss - the WAL latched fail-stop (failed fsync); permanent.
+  // Read-only transactions always succeed — the committed prefix
+  // remains perfectly readable.
+  Result<std::unique_ptr<Transaction>> TryBegin(TxnClass cls);
+
+  // Current storage health verdict, derived from the WAL: OK,
+  // kResourceExhausted (degraded read-only), or kDataLoss (fail-stop).
+  // Always OK without a WAL or with an in-memory one.
+  Status Health() const;
 
   // Starts a read-only transaction whose snapshot is guaranteed to
   // include the effects of the read-write transaction numbered

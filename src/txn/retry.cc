@@ -1,12 +1,42 @@
 #include "txn/retry.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/random.h"
+#include "common/sim_hook.h"
+
 namespace mvcc {
+
+int64_t RetryBackoffMicros(const RetryOptions& options, int next_attempt,
+                           uint64_t jitter_draw) {
+  if (options.backoff_base_us <= 0 || next_attempt < 2) return 0;
+  // Exponent caps at 40 to keep the shift defined; backoff_max_us
+  // bounds the result anyway.
+  const int exponent = std::min(next_attempt - 2, 40);
+  int64_t delay = options.backoff_base_us;
+  if (exponent > 0 && delay > (options.backoff_max_us >> exponent)) {
+    delay = options.backoff_max_us;
+  } else {
+    delay = std::min(delay << exponent, options.backoff_max_us);
+  }
+  // Jitter factor in [0.5, 1.0): desynchronizes retrying transactions
+  // (full-delay herds re-collide) while keeping at least half the
+  // intended wait.
+  const double unit =
+      static_cast<double>(jitter_draw >> 11) * (1.0 / 9007199254740992.0);
+  const double factor = 0.5 + unit * 0.5;
+  return std::max<int64_t>(1, static_cast<int64_t>(
+                                  static_cast<double>(delay) * factor));
+}
 
 namespace {
 
 Status RunWithRetry(Database* db, TxnClass cls,
                     const std::function<Status(Transaction&)>& body,
                     const RetryOptions& options) {
+  Random jitter(options.jitter_seed);
   int attempts = 0;
   while (true) {
     ++attempts;
@@ -21,6 +51,17 @@ Status RunWithRetry(Database* db, TxnClass cls,
     if (options.max_attempts > 0 && attempts >= options.max_attempts) {
       return Status::Aborted("transaction still aborting after " +
                              std::to_string(attempts) + " attempts");
+    }
+    const int64_t delay_us =
+        RetryBackoffMicros(options, attempts + 1, jitter.Next());
+    if (delay_us > 0) {
+      if (InstalledSimHook() != nullptr) {
+        // Simulated time: yield to the scheduler instead of sleeping —
+        // a real sleep would stall the single-running-task simulator.
+        SimSchedulePoint("retry.backoff");
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+      }
     }
   }
 }

@@ -1,6 +1,7 @@
 #ifndef MVCC_TXN_RETRY_H_
 #define MVCC_TXN_RETRY_H_
 
+#include <cstdint>
 #include <functional>
 
 #include "common/result.h"
@@ -11,7 +12,26 @@ namespace mvcc {
 struct RetryOptions {
   // Give up after this many aborted attempts (0 = unlimited).
   int max_attempts = 64;
+
+  // Exponential backoff between aborted attempts: after the n-th abort
+  // the loop waits min(backoff_base_us << (n-1), backoff_max_us)
+  // microseconds, scaled by a deterministic jitter factor in [0.5, 1.0)
+  // drawn from `jitter_seed` — same seed, same delays, so contention
+  // experiments replay exactly. 0 disables backoff (immediate retry,
+  // the historical behavior). Under the deterministic simulator the
+  // wait becomes a scheduler yield ("retry.backoff") instead of a real
+  // sleep: wall-clock sleeping would stall the one-task-at-a-time
+  // scheduler without modeling time.
+  int64_t backoff_base_us = 0;
+  int64_t backoff_max_us = 100'000;
+  uint64_t jitter_seed = 0x5EEDBACCULL;
 };
+
+// The delay before retry attempt `next_attempt` (2 = first retry) under
+// `options`, in microseconds, jitter included. Exposed for tests; used
+// by RunReadWriteTransaction / RunReadOnlyTransaction internally.
+int64_t RetryBackoffMicros(const RetryOptions& options, int next_attempt,
+                           uint64_t jitter_draw);
 
 // Runs `body` inside a read-write transaction, retrying from scratch on
 // every abort (CC conflict, deadlock victim, validation failure) until

@@ -6,11 +6,14 @@
 // adversarial schedules live in repl_property_test / bench_sim.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "recovery/faulty_env.h"
 #include "recovery/recovery.h"
 #include "repl/read_router.h"
 #include "repl/repl_metrics.h"
@@ -326,6 +329,67 @@ TEST(ReplicaTest, InFlightReaderSurvivesCrash) {
   EXPECT_EQ(*read, "pinned");
   EXPECT_EQ(txn.snapshot(), sn);
   txn.Commit();
+}
+
+TEST(ReplicaTest, SalvagedPrimaryReseedsReplicaThroughCheckpoint) {
+  // A primary crashes with a torn WAL tail, restarts, salvages the tear
+  // (losing the never-acknowledged last commit), and then bootstraps a
+  // replica: the checkpoint resync must seed exactly the salvaged state,
+  // and tailing must continue from there.
+  const std::string dir = "/tmp/mvcc_repl_salvage_" +
+                          std::to_string(static_cast<long>(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  DatabaseOptions opts = ReplOpts();
+  {
+    FaultyEnv env(GetPosixEnv());
+    RecoveryReport report;
+    auto db = OpenDatabaseDurable(opts, &env, dir, WalDurableOptions{},
+                                  &report);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_TRUE((*db)->Put(1, "acked-1").ok());
+    ASSERT_TRUE((*db)->Put(2, "acked-2").ok());
+    // Torn append + failed rollback: the tear stays on disk, the log
+    // fail-stops, and the commit is never acknowledged.
+    env.FailAt(env.op_count(), FaultKind::kTornWrite);
+    env.FailAt(env.op_count() + 1, FaultKind::kEio);
+    EXPECT_TRUE((*db)->Put(3, "torn").IsDataLoss());
+  }
+  RecoveryReport report;
+  auto db = OpenDatabaseDurable(opts, GetPosixEnv(), dir,
+                                WalDurableOptions{}, &report);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_TRUE(report.wal.salvaged);
+
+  SimulatedNetwork network;
+  repl::Replica replica(0, &network, (*db)->history());
+  repl::ReplicationStream stream(db->get(), &network, {&replica});
+  for (int i = 0; i < 50 && !stream.CaughtUp(); ++i) {
+    stream.PumpOnce();
+    replica.ApplyOnce();
+  }
+  ASSERT_TRUE(stream.CaughtUp());
+  EXPECT_GE(stream.stats().resyncs, 1u);  // checkpoint-seeded bootstrap
+
+  const TxnNumber vtnc = (*db)->version_control().vtnc();
+  EXPECT_EQ(replica.Horizon(), vtnc);
+  EXPECT_EQ(replica.SnapshotRead(vtnc, 1)->value, "acked-1");
+  EXPECT_EQ(replica.SnapshotRead(vtnc, 2)->value, "acked-2");
+  // The torn commit was salvaged away on the primary and must not
+  // resurrect on the replica.
+  EXPECT_EQ(replica.SnapshotRead(vtnc, 3)->value, opts.initial_value);
+
+  // Tailing continues past the resync point.
+  ASSERT_TRUE((*db)->Put(3, "post-salvage").ok());
+  for (int i = 0; i < 50 && !stream.CaughtUp(); ++i) {
+    stream.PumpOnce();
+    replica.ApplyOnce();
+  }
+  ASSERT_TRUE(stream.CaughtUp());
+  EXPECT_EQ(
+      replica.SnapshotRead((*db)->version_control().vtnc(), 3)->value,
+      "post-salvage");
+  std::filesystem::remove_all(dir);
 }
 
 TEST(ReplMetricsTest, CollectorAggregatesAllSides) {

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "common/random.h"
 
 namespace mvcc {
 namespace {
@@ -125,6 +128,76 @@ TEST(RetryTest, ReadOnlyVariantRuns) {
   });
   EXPECT_TRUE(s.ok());
   EXPECT_EQ(seen, "x");
+}
+
+TEST(RetryTest, BackoffDisabledByDefault) {
+  RetryOptions options;  // backoff_base_us == 0
+  EXPECT_EQ(RetryBackoffMicros(options, 2, 12345), 0);
+  EXPECT_EQ(RetryBackoffMicros(options, 10, 12345), 0);
+}
+
+TEST(RetryTest, BackoffGrowsExponentiallyToCap) {
+  RetryOptions options;
+  options.backoff_base_us = 100;
+  options.backoff_max_us = 1000;
+  // jitter_draw = 0 gives the minimum factor 0.5: delay is exactly half
+  // the unjittered schedule, which makes growth easy to assert.
+  EXPECT_EQ(RetryBackoffMicros(options, 2, 0), 50);    // 100 * 0.5
+  EXPECT_EQ(RetryBackoffMicros(options, 3, 0), 100);   // 200 * 0.5
+  EXPECT_EQ(RetryBackoffMicros(options, 4, 0), 200);   // 400 * 0.5
+  EXPECT_EQ(RetryBackoffMicros(options, 5, 0), 400);   // 800 * 0.5
+  EXPECT_EQ(RetryBackoffMicros(options, 6, 0), 500);   // capped at 1000
+  // Deep attempt counts must not overflow the shift.
+  EXPECT_EQ(RetryBackoffMicros(options, 200, 0), 500);
+}
+
+TEST(RetryTest, BackoffJitterStaysInHalfOpenRange) {
+  RetryOptions options;
+  options.backoff_base_us = 1000;
+  options.backoff_max_us = 1000;
+  Random rng(options.jitter_seed);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t d = RetryBackoffMicros(options, 2, rng.Next());
+    EXPECT_GE(d, 500);
+    EXPECT_LT(d, 1000);
+  }
+  // Same seed, same draws, same delays: contention runs replay exactly.
+  Random a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(RetryBackoffMicros(options, 2 + (i % 8), a.Next()),
+              RetryBackoffMicros(options, 2 + (i % 8), b.Next()));
+  }
+}
+
+TEST(RetryTest, BackoffNeverRoundsToZero) {
+  RetryOptions options;
+  options.backoff_base_us = 1;
+  options.backoff_max_us = 1;
+  // 1us * 0.5 would truncate to 0; the floor keeps a real wait.
+  EXPECT_EQ(RetryBackoffMicros(options, 2, 0), 1);
+}
+
+TEST(RetryTest, RetriesWithBackoffStillConverge) {
+  Database db(Opts(ProtocolKind::kVc2pl));
+  auto blocker = db.Begin(TxnClass::kReadWrite);
+  ASSERT_TRUE(blocker->Write(1, "held").ok());
+  std::atomic<bool> done{false};
+  std::thread contender([&] {
+    RetryOptions options;
+    options.max_attempts = 0;
+    options.backoff_base_us = 50;
+    options.backoff_max_us = 2000;
+    Status s = RunReadWriteTransaction(
+        &db, [](Transaction& txn) { return txn.Write(1, "mine"); },
+        options);
+    EXPECT_TRUE(s.ok());
+    done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(blocker->Commit().ok());
+  contender.join();
+  EXPECT_TRUE(done.load());
+  EXPECT_EQ(*db.Get(1), "mine");
 }
 
 TEST(RetryTest, ReadOnlyAbsorbsBaselineReaderAborts) {

@@ -25,6 +25,22 @@ TEST(StatusTest, FactoriesCarryCodeAndMessage) {
   EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
   EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::DataLoss("x").IsDataLoss());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+}
+
+TEST(StatusTest, StorageFailureCodesAreDistinct) {
+  // kDataLoss is the fail-stop verdict (failed fsync, interior log
+  // corruption); kResourceExhausted is the recoverable degraded-mode
+  // verdict (disk full). Neither is an abort: retry loops must not spin
+  // on them.
+  Status loss = Status::DataLoss("fsync failed");
+  Status full = Status::ResourceExhausted("disk full");
+  EXPECT_FALSE(loss.IsAborted());
+  EXPECT_FALSE(full.IsAborted());
+  EXPECT_FALSE(loss == full);
+  EXPECT_EQ(loss.ToString(), "DataLoss: fsync failed");
+  EXPECT_EQ(full.ToString(), "ResourceExhausted: disk full");
 }
 
 TEST(StatusTest, EqualityComparesCodeOnly) {
@@ -36,6 +52,9 @@ TEST(StatusTest, CodeNames) {
   EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_EQ(StatusCodeName(StatusCode::kAborted), "Aborted");
   EXPECT_EQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDataLoss), "DataLoss");
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
 }
 
 TEST(ResultTest, HoldsValue) {

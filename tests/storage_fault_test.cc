@@ -1,0 +1,421 @@
+// Storage fault-tolerance (ISSUE 4): checksummed on-disk WAL, torn-tail
+// salvage vs interior-corruption fail-stop, checkpoint generation
+// fallback, fsyncgate fail-stop, ENOSPC degraded read-only mode, and the
+// crash matrix — a process crash at EVERY mutating file-system syscall
+// must lose at most a suffix of the acknowledged commit order.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "recovery/env.h"
+#include "recovery/faulty_env.h"
+#include "recovery/file_io.h"
+#include "recovery/recovery.h"
+#include "recovery/wal.h"
+#include "txn/database.h"
+
+namespace mvcc {
+namespace {
+
+constexpr uint64_t kKeys = 20;
+
+DatabaseOptions DurableOpts() {
+  DatabaseOptions opts;
+  opts.protocol = ProtocolKind::kVc2pl;
+  opts.preload_keys = kKeys;
+  opts.initial_value = "init";
+  return opts;
+}
+
+// Fresh empty directory unique to the calling test.
+std::string TestDir(const std::string& tag) {
+  const std::string dir = "/tmp/mvcc_sfault_" + tag + "_" +
+                          std::to_string(static_cast<long>(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+Result<std::unique_ptr<Database>> Open(Env* env, const std::string& dir,
+                                       RecoveryReport* report,
+                                       SalvagePolicy policy =
+                                           SalvagePolicy::kSalvageTornTail) {
+  WalDurableOptions wopts;
+  wopts.policy = policy;
+  return OpenDatabaseDurable(DurableOpts(), env, dir, wopts, report);
+}
+
+TEST(StorageFaultTest, DurableRoundTripSurvivesReopen) {
+  const std::string dir = TestDir("roundtrip");
+  RecoveryReport report;
+  {
+    auto db = Open(GetPosixEnv(), dir, &report);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_TRUE((*db)->Put(1, "one").ok());
+    ASSERT_TRUE((*db)->Put(2, "two").ok());
+    ASSERT_TRUE((*db)->Put(1, "one-v2").ok());
+    EXPECT_TRUE((*db)->Health().ok());
+  }
+  auto db = Open(GetPosixEnv(), dir, &report);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(report.replayed_batches, 3u);
+  EXPECT_FALSE(report.wal.salvaged);
+  EXPECT_EQ(*(*db)->Get(1), "one-v2");
+  EXPECT_EQ(*(*db)->Get(2), "two");
+  EXPECT_EQ(*(*db)->Get(3), "init");
+  // The recovered counters extend the serial order.
+  ASSERT_TRUE((*db)->Put(3, "after").ok());
+  EXPECT_EQ(*(*db)->Get(3), "after");
+}
+
+TEST(StorageFaultTest, EioOnAppendFailStopsThePipeline) {
+  const std::string dir = TestDir("eio_append");
+  FaultyEnv env(GetPosixEnv());
+  RecoveryReport report;
+  auto db = Open(&env, dir, &report);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Put(0, "good").ok());
+
+  env.FailAt(env.op_count(), FaultKind::kEio);  // next op: the append
+  Status s = (*db)->Put(1, "doomed");
+  EXPECT_TRUE(s.IsDataLoss()) << s.ToString();
+  // The failed commit was rolled back: not visible, not half-installed.
+  EXPECT_EQ(*(*db)->Get(1), "init");
+  EXPECT_GT((*db)->counters().durability_failures.load(), 0u);
+
+  // kDataLoss is a latch (fsyncgate-style): no later write is accepted,
+  // and new read-write transactions are refused outright.
+  EXPECT_TRUE((*db)->Health().IsDataLoss());
+  EXPECT_TRUE((*db)->Put(2, "also-doomed").IsDataLoss());
+  auto rw = (*db)->TryBegin(TxnClass::kReadWrite);
+  EXPECT_TRUE(rw.status().IsDataLoss());
+  // Reads keep working at the last durable state.
+  auto ro = (*db)->TryBegin(TxnClass::kReadOnly);
+  ASSERT_TRUE(ro.ok());
+  EXPECT_EQ(*(*ro)->Read(0), "good");
+  (*ro)->Commit();
+}
+
+TEST(StorageFaultTest, FailedFsyncIsNeverRetried) {
+  const std::string dir = TestDir("fsyncgate");
+  FaultyEnv env(GetPosixEnv());
+  RecoveryReport report;
+  auto db = Open(&env, dir, &report);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Put(0, "durable").ok());
+
+  // Append succeeds, the fsync after it fails: the pages may or may not
+  // have reached the disk, so the commit must NOT be acknowledged and
+  // the log must never pretend a later fsync can fix it.
+  env.FailAt(env.op_count() + 1, FaultKind::kEio);  // append, then sync
+  EXPECT_TRUE((*db)->Put(1, "unflushed").IsDataLoss());
+  EXPECT_EQ(*(*db)->Get(1), "init");
+  EXPECT_TRUE((*db)->Health().IsDataLoss());
+  // Permanently: even with no further faults armed, the latch holds.
+  env.ClearFaults();
+  EXPECT_TRUE((*db)->Put(2, "still-doomed").IsDataLoss());
+}
+
+TEST(StorageFaultTest, EnospcDegradedModeRecoversAfterTruncation) {
+  const std::string dir = TestDir("enospc");
+  FaultyEnv env(GetPosixEnv());
+  RecoveryReport report;
+  auto db = Open(&env, dir, &report);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Put(0, "kept").ok());
+
+  env.FailAt(env.op_count(), FaultKind::kEnospc);
+  Status s = (*db)->Put(1, "no-space");
+  EXPECT_TRUE(s.IsResourceExhausted()) << s.ToString();
+  EXPECT_EQ(*(*db)->Get(1), "init");  // rolled back, not visible
+
+  // Degraded read-only: RW begins refused, RO begins served.
+  EXPECT_TRUE((*db)->Health().IsResourceExhausted());
+  EXPECT_TRUE(
+      (*db)->TryBegin(TxnClass::kReadWrite).status().IsResourceExhausted());
+  auto ro = (*db)->TryBegin(TxnClass::kReadOnly);
+  ASSERT_TRUE(ro.ok());
+  EXPECT_EQ(*(*ro)->Read(0), "kept");
+  (*ro)->Commit();
+
+  // Checkpoint + truncation frees space and lifts the degraded state.
+  auto gen = CheckpointAndTruncateDurable(db->get(), &env, dir);
+  ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+  EXPECT_TRUE((*db)->Health().ok());
+  ASSERT_TRUE((*db)->TryBegin(TxnClass::kReadWrite).ok());
+  ASSERT_TRUE((*db)->Put(1, "after-recovery").ok());
+
+  // And everything survives a reopen through the checkpoint + WAL tail.
+  db->reset();
+  auto reopened = Open(GetPosixEnv(), dir, &report);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(report.checkpoint.loaded_generation, *gen);
+  EXPECT_EQ(*(*reopened)->Get(0), "kept");
+  EXPECT_EQ(*(*reopened)->Get(1), "after-recovery");
+}
+
+TEST(StorageFaultTest, TornTailIsSalvagedExactlyOnceStrictRefuses) {
+  const std::string dir = TestDir("torn_tail");
+  {
+    FaultyEnv env(GetPosixEnv());
+    RecoveryReport report;
+    auto db = Open(&env, dir, &report);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Put(0, "a").ok());
+    ASSERT_TRUE((*db)->Put(1, "b").ok());
+    // A torn append persists only a prefix of the record; the rollback
+    // truncate then fails too (the disk is dying), so the torn bytes
+    // stay on disk and the log fail-stops.
+    env.FailAt(env.op_count(), FaultKind::kTornWrite);
+    env.FailAt(env.op_count() + 1, FaultKind::kEio);  // the rollback
+    EXPECT_TRUE((*db)->Put(2, "torn").IsDataLoss());
+    EXPECT_TRUE((*db)->Health().IsDataLoss());
+  }
+  // Strict policy refuses the torn tail outright (and must not modify
+  // the directory, so the salvage open below still sees the tear).
+  RecoveryReport report;
+  auto strict = Open(GetPosixEnv(), dir, &report, SalvagePolicy::kStrict);
+  EXPECT_FALSE(strict.ok());
+  EXPECT_TRUE(strict.status().IsDataLoss()) << strict.status().ToString();
+
+  // Default policy: truncate the tear, keep every acknowledged commit.
+  auto db = Open(GetPosixEnv(), dir, &report);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_TRUE(report.wal.salvaged);
+  EXPECT_GT(report.wal.torn_tail_bytes, 0u);
+  EXPECT_EQ(report.replayed_batches, 2u);
+  EXPECT_EQ(*(*db)->Get(0), "a");
+  EXPECT_EQ(*(*db)->Get(1), "b");
+  EXPECT_EQ(*(*db)->Get(2), "init");  // never acknowledged, never seen
+
+  // A second reopen is clean: salvage truncated the tear for good.
+  db->reset();
+  auto again = Open(GetPosixEnv(), dir, &report);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(report.wal.salvaged);
+}
+
+TEST(StorageFaultTest, InteriorCorruptionFailStopsRecovery) {
+  const std::string dir = TestDir("bitflip");
+  {
+    FaultyEnv env(GetPosixEnv());
+    RecoveryReport report;
+    auto db = Open(&env, dir, &report);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Put(0, "a").ok());
+    // The flipped append "succeeds" — the commit is acknowledged and
+    // only recovery's CRC scan can notice.
+    env.FailAt(env.op_count(), FaultKind::kBitFlip);
+    ASSERT_TRUE((*db)->Put(1, "flipped").ok());
+    ASSERT_TRUE((*db)->Put(2, "c").ok());
+  }
+  // A bad record FOLLOWED by valid ones is not a torn tail: salvaging
+  // would silently drop an interior acknowledged commit. Fail-stop, even
+  // under the permissive policy.
+  RecoveryReport report;
+  auto db = Open(GetPosixEnv(), dir, &report);
+  EXPECT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsDataLoss()) << db.status().ToString();
+}
+
+TEST(StorageFaultTest, CheckpointGenerationFallback) {
+  const std::string dir = TestDir("ckpt_fallback");
+  uint64_t gen1 = 0, gen2 = 0;
+  {
+    RecoveryReport report;
+    auto db = Open(GetPosixEnv(), dir, &report);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Put(0, "a").ok());
+    auto g1 = CheckpointAndTruncateDurable(db->get(), GetPosixEnv(), dir);
+    ASSERT_TRUE(g1.ok());
+    gen1 = *g1;
+    ASSERT_TRUE((*db)->Put(1, "b").ok());
+    auto g2 = CheckpointAndTruncateDurable(db->get(), GetPosixEnv(), dir);
+    ASSERT_TRUE(g2.ok());
+    gen2 = *g2;
+    ASSERT_TRUE((*db)->Put(2, "c").ok());
+  }
+  // Bit-rot the newest generation on disk.
+  const std::string gen2_path =
+      dir + "/ckpt/" + CheckpointFileName(gen2);
+  {
+    auto image = ReadFile(gen2_path);
+    ASSERT_TRUE(image.ok());
+    std::string corrupt = *image;
+    ASSERT_GT(corrupt.size(), 16u);
+    corrupt[corrupt.size() / 2] ^= 0x01;
+    std::ofstream out(gen2_path, std::ios::binary | std::ios::trunc);
+    out << corrupt;
+  }
+  {
+    RecoveryReport report;
+    auto db = Open(GetPosixEnv(), dir, &report);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    EXPECT_EQ(report.checkpoint.generations_seen, 2u);
+    EXPECT_EQ(report.checkpoint.generations_bad, 1u);
+    EXPECT_EQ(report.checkpoint.loaded_generation, gen1);
+    // The WAL still holds the gap (segments are deleted only when a
+    // checkpoint covers a whole sealed segment), so nothing is lost.
+    EXPECT_EQ(*(*db)->Get(0), "a");
+    EXPECT_EQ(*(*db)->Get(1), "b");
+    EXPECT_EQ(*(*db)->Get(2), "c");
+  }
+  // With EVERY generation corrupt there is no floor to replay from:
+  // refusing to open beats silently resurrecting pre-checkpoint state.
+  const std::string gen1_path =
+      dir + "/ckpt/" + CheckpointFileName(gen1);
+  {
+    std::ofstream out(gen1_path, std::ios::binary | std::ios::trunc);
+    out << "rotten";
+  }
+  RecoveryReport report;
+  auto db = Open(GetPosixEnv(), dir, &report);
+  EXPECT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsDataLoss()) << db.status().ToString();
+}
+
+TEST(StorageFaultTest, WriteFileAtomicCleansUpOrphanedTemps) {
+  const std::string dir = TestDir("atomic");
+  const std::string target = dir + "/image.bin";
+  ASSERT_TRUE(WriteFileAtomic(target, "published").ok());
+  // Debris of a writer that died between open and rename.
+  {
+    std::ofstream orphan(dir + "/image.bin.tmp.99.1234",
+                         std::ios::binary);
+    orphan << "half-written";
+  }
+  EXPECT_EQ(CleanupOrphanedTempFiles(dir), 1u);
+  EXPECT_FALSE(FileExists(dir + "/image.bin.tmp.99.1234"));
+  EXPECT_EQ(*ReadFile(target), "published");
+  EXPECT_EQ(CleanupOrphanedTempFiles(dir), 0u);  // idempotent
+}
+
+TEST(StorageFaultTest, FiniteDiskModelChargesAndCredits) {
+  const std::string dir = TestDir("capacity");
+  FaultyEnv env(GetPosixEnv());
+  env.set_capacity_bytes(4096);
+  auto file = env.NewAppendableFile(dir + "/a.log");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(std::string(3000, 'x')).ok());
+  EXPECT_EQ(env.used_bytes(), 3000u);
+  Status s = (*file)->Append(std::string(2000, 'x'));
+  EXPECT_TRUE(s.IsResourceExhausted()) << s.ToString();
+  ASSERT_TRUE((*file)->Close().ok());
+  // Deleting the file credits its bytes back — the checkpoint-truncation
+  // path the degraded mode relies on.
+  ASSERT_TRUE(env.DeleteFile(dir + "/a.log").ok());
+  EXPECT_EQ(env.used_bytes(), 0u);
+  auto fresh = env.NewAppendableFile(dir + "/b.log");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE((*fresh)->Append(std::string(2000, 'y')).ok());
+  ASSERT_TRUE((*fresh)->Close().ok());
+}
+
+// ---- the crash matrix ----
+//
+// Run a fixed workload of two-key transactions once, fault-free, to
+// count the mutating syscalls. Then for EVERY syscall index c, rerun the
+// workload with a crash injected at c, recover from the directory as the
+// crash left it, and check the durability oracle:
+//
+//   1. the recovered state is an exact PREFIX of the commit order,
+//   2. every acknowledged commit is in that prefix (nothing acked lost),
+//   3. both keys of each transaction are present or absent TOGETHER.
+
+struct MatrixRun {
+  uint64_t ops = 0;      // mutating syscalls consumed
+  int acked = 0;         // commits acknowledged before the crash
+  bool opened = false;   // OpenDatabaseDurable succeeded
+};
+
+constexpr int kMatrixTxns = 10;
+
+MatrixRun RunMatrixWorkload(FaultyEnv* env, const std::string& dir) {
+  MatrixRun run;
+  RecoveryReport report;
+  auto db = Open(env, dir, &report);
+  if (!db.ok()) {
+    run.ops = env->op_count();
+    return run;
+  }
+  run.opened = true;
+  for (int i = 0; i < kMatrixTxns; ++i) {
+    auto txn = (*db)->Begin(TxnClass::kReadWrite);
+    const std::string value = "v" + std::to_string(i);
+    if (!txn->Write(2 * i, value).ok() ||
+        !txn->Write(2 * i + 1, value).ok()) {
+      txn->Abort();
+      break;
+    }
+    if (txn->Commit().ok()) {
+      // Acks must be a prefix too: once the log fail-stops, nothing
+      // later may sneak through.
+      EXPECT_EQ(run.acked, i);
+      ++run.acked;
+    }
+  }
+  run.ops = env->op_count();
+  return run;
+}
+
+// Verifies the oracle over a recovered database; returns the prefix
+// length k (number of recovered transactions).
+int CheckRecoveredPrefix(Database* db) {
+  int k = 0;
+  bool in_prefix = true;
+  for (int i = 0; i < kMatrixTxns; ++i) {
+    const std::string lo = *db->Get(2 * i);
+    const std::string hi = *db->Get(2 * i + 1);
+    EXPECT_EQ(lo, hi) << "txn " << i << " recovered torn";
+    const bool present = lo == "v" + std::to_string(i);
+    if (!present) {
+      EXPECT_EQ(lo, "init") << "txn " << i << " recovered mangled";
+      in_prefix = false;
+    } else {
+      EXPECT_TRUE(in_prefix) << "txn " << i << " present after a gap";
+      ++k;
+    }
+  }
+  return k;
+}
+
+TEST(StorageFaultTest, CrashMatrixLosesOnlyAnUnackedSuffix) {
+  // Fault-free probe run sizes the matrix.
+  const std::string probe_dir = TestDir("matrix_probe");
+  FaultyEnv probe(GetPosixEnv());
+  const MatrixRun clean = RunMatrixWorkload(&probe, probe_dir);
+  ASSERT_TRUE(clean.opened);
+  ASSERT_EQ(clean.acked, kMatrixTxns);
+  ASSERT_GT(clean.ops, 0u);
+
+  for (uint64_t c = 0; c < clean.ops; ++c) {
+    const std::string dir = TestDir("matrix_" + std::to_string(c));
+    FaultyEnv env(GetPosixEnv());
+    env.FailAt(c, FaultKind::kCrash);
+    const MatrixRun crashed = RunMatrixWorkload(&env, dir);
+    EXPECT_TRUE(env.crashed()) << "crash at op " << c << " never fired";
+
+    RecoveryReport report;
+    auto db = Open(GetPosixEnv(), dir, &report);
+    ASSERT_TRUE(db.ok()) << "crash at op " << c << ": "
+                         << db.status().ToString();
+    const int recovered = CheckRecoveredPrefix(db->get());
+    // Acknowledged implies durable: fsync happens before the ack, so a
+    // crash can only lose commits that were never acknowledged.
+    EXPECT_GE(recovered, crashed.acked) << "crash at op " << c;
+    // And the recovered database is live: it accepts new commits.
+    ASSERT_TRUE((*db)->Put(2 * kMatrixTxns - 1, "post-crash").ok())
+        << "crash at op " << c;
+    std::filesystem::remove_all(dir);
+  }
+  std::filesystem::remove_all(probe_dir);
+}
+
+}  // namespace
+}  // namespace mvcc
