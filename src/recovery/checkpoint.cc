@@ -14,15 +14,23 @@ namespace {
 // corrupt state.
 constexpr uint64_t kMagic = 0x4D564343434B3033ULL;  // "MVCCCK03"
 
+// Explicit little-endian packing, independent of host endianness — the
+// file format must read back on any machine.
 void PutU64(std::string* out, uint64_t v) {
   char buf[8];
-  std::memcpy(buf, &v, 8);
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
   out->append(buf, 8);
 }
 
 bool GetU64(const std::string& in, size_t* pos, uint64_t* v) {
   if (*pos + 8 > in.size()) return false;
-  std::memcpy(v, in.data() + *pos, 8);
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(
+               static_cast<unsigned char>(in[*pos + i]))
+           << (8 * i);
+  }
+  *v = out;
   *pos += 8;
   return true;
 }
@@ -43,7 +51,7 @@ std::string Checkpoint::Serialize() const {
   }
   const uint32_t crc = Crc32c(out.data(), out.size());
   char buf[4];
-  std::memcpy(buf, &crc, 4);
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(crc >> (8 * i));
   out.append(buf, 4);
   return out;
 }
@@ -54,7 +62,11 @@ Result<Checkpoint> Checkpoint::Deserialize(const std::string& image) {
   }
   const size_t body_size = image.size() - 4;
   uint32_t stored_crc = 0;
-  std::memcpy(&stored_crc, image.data() + body_size, 4);
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<uint32_t>(
+                      static_cast<unsigned char>(image[body_size + i]))
+                  << (8 * i);
+  }
   if (Crc32c(image.data(), body_size) != stored_crc) {
     return Status::DataLoss("checkpoint CRC mismatch");
   }

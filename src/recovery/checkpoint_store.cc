@@ -120,4 +120,21 @@ Result<Checkpoint> LoadLatestCheckpoint(Env* env, const std::string& dir,
                            report->detail + ")"));
 }
 
+TxnNumber CheckpointTruncationFloor(Env* env, const std::string& dir) {
+  if (!env->FileExists(dir)) return 0;
+  auto seqs = ListGenerations(env, dir);
+  if (!seqs.ok()) return 0;
+  TxnNumber floor = 0;
+  bool any = false;
+  for (uint64_t seq : *seqs) {
+    auto image = env->ReadFileToString(dir + "/" + CheckpointFileName(seq));
+    if (!image.ok()) continue;
+    Result<Checkpoint> checkpoint = Checkpoint::Deserialize(*image);
+    if (!checkpoint.ok()) continue;
+    floor = any ? std::min(floor, checkpoint->vtnc) : checkpoint->vtnc;
+    any = true;
+  }
+  return floor;
+}
+
 }  // namespace mvcc

@@ -19,8 +19,9 @@ namespace mvcc {
 // rename over the final name, fsync the directory. The two newest
 // generations are retained so that a generation corrupted on disk (CRC
 // mismatch at load) falls back to the previous one — the WAL then
-// replays the gap, since segments are only truncated up to the vtnc of
-// a checkpoint that was durably written.
+// replays the gap, since segments are only truncated up to the floor of
+// the retained generations (CheckpointTruncationFloor), never up to the
+// newest generation alone.
 
 struct CheckpointLoadReport {
   uint64_t generations_seen = 0;   // candidate files found
@@ -44,6 +45,18 @@ Result<uint64_t> SaveCheckpointDurable(Env* env, const std::string& dir,
 // (nullable). kNotFound when no generation loads.
 Result<Checkpoint> LoadLatestCheckpoint(Env* env, const std::string& dir,
                                         CheckpointLoadReport* report);
+
+// The highest tn the WAL may safely forget: the smallest vtnc among the
+// retained generations that currently CRC-verify. Fallback recovery can
+// load ANY of them (LoadLatestCheckpoint walks newest-first), so the
+// WAL must keep everything above the smallest — truncating to the
+// newest generation's vtnc alone would delete segments a later fallback
+// needs, turning a recoverable bit-rotted checkpoint into a silent data
+// hole. A generation that no longer verifies can never be a fallback
+// target (corruption does not heal) and does not hold the floor down.
+// Returns 0 — truncate nothing, always safe — when no generation
+// verifies or the directory cannot be listed.
+TxnNumber CheckpointTruncationFloor(Env* env, const std::string& dir);
 
 }  // namespace mvcc
 

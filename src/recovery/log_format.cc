@@ -25,27 +25,35 @@ const uint32_t* Crc32cTable() {
   return table;
 }
 
+// Explicit little-endian packing (the documented on-disk byte order),
+// independent of host endianness.
 void PutU32(std::string* out, uint32_t v) {
   char buf[4];
-  std::memcpy(buf, &v, 4);
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(v >> (8 * i));
   out->append(buf, 4);
 }
 
 void PutU64(std::string* out, uint64_t v) {
   char buf[8];
-  std::memcpy(buf, &v, 8);
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
   out->append(buf, 8);
 }
 
 uint32_t GetU32(std::string_view in, size_t pos) {
   uint32_t v = 0;
-  std::memcpy(&v, in.data() + pos, 4);
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(in[pos + i]))
+         << (8 * i);
+  }
   return v;
 }
 
 uint64_t GetU64(std::string_view in, size_t pos) {
   uint64_t v = 0;
-  std::memcpy(&v, in.data() + pos, 8);
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(in[pos + i]))
+         << (8 * i);
+  }
   return v;
 }
 
@@ -57,28 +65,37 @@ bool ReadU64(std::string_view in, size_t* pos, uint64_t* v) {
 }
 
 // CRC over the covered header fields (length + tn, 12 bytes) chained
-// with the payload.
+// with the payload. The covered bytes are packed little-endian exactly
+// as they appear on disk, so the CRC is host-endianness-independent.
 uint32_t RecordCrc(uint32_t length, uint64_t tn, std::string_view payload) {
-  char covered[12];
-  std::memcpy(covered, &length, 4);
-  std::memcpy(covered + 4, &tn, 8);
-  uint32_t crc = Crc32c(covered, sizeof(covered));
+  std::string covered;
+  covered.reserve(12);
+  PutU32(&covered, length);
+  PutU64(&covered, tn);
+  uint32_t crc = Crc32c(covered.data(), covered.size());
   return Crc32c(payload.data(), payload.size(), crc);
 }
 
-// True when a record with a valid CRC starts at `pos` — the probe that
-// separates a torn tail (nothing valid after the bad record) from
-// interior corruption (valid records after it).
+// True when a record with a valid CRC starts anywhere at or after `pos`
+// — the probe that separates a torn tail (nothing valid after the bad
+// record) from interior corruption (valid records after it). The probe
+// must not trust the corrupt record's own length field to hop to the
+// next boundary: the corruption may BE in that field (a flipped bit
+// there fails the CRC and derails a length-based resync), so it slides
+// forward one byte at a time until a CRC-valid record parses. Sliding
+// is O(bytes^2) worst case but only runs once, on an already-doomed
+// segment, to pick between salvage and fail-stop.
 bool AnyValidRecordFrom(std::string_view image, size_t pos) {
-  while (pos + kWalRecordHeaderBytes <= image.size()) {
+  for (; pos + kWalRecordHeaderBytes <= image.size(); ++pos) {
     const uint32_t length = GetU32(image, pos);
+    const size_t payload_at = pos + kWalRecordHeaderBytes;
+    if (length > image.size() || payload_at + length > image.size()) {
+      continue;  // cannot be a whole record here; keep sliding
+    }
     const uint64_t tn = GetU64(image, pos + 4);
     const uint32_t stored = GetU32(image, pos + 12);
-    const size_t payload_at = pos + kWalRecordHeaderBytes;
-    if (payload_at + length > image.size()) return false;
     const std::string_view payload = image.substr(payload_at, length);
     if (RecordCrc(length, tn, payload) == stored) return true;
-    pos = payload_at + length;
   }
   return false;
 }
@@ -177,17 +194,31 @@ WalScanResult ScanWalSegment(std::string_view image, const std::string& name) {
     const uint32_t stored = GetU32(image, pos + 12);
     const size_t payload_at = pos + kWalRecordHeaderBytes;
     if (payload_at + length > image.size()) {
-      res.tail = WalTailState::kTorn;
-      res.detail = name + ": record at offset " + std::to_string(pos) +
-                   " extends past end of segment";
+      // Usually a genuinely torn final append — but a bit flip in the
+      // length field of an interior record also lands here (a huge
+      // length "extends past the end"). Probe for valid records after
+      // this position before trusting the torn-tail reading.
+      if (AnyValidRecordFrom(image, pos + 1)) {
+        res.tail = WalTailState::kCorrupt;
+        res.detail = name + ": record at offset " + std::to_string(pos) +
+                     " extends past end of segment but valid records " +
+                     "follow — corrupt length field";
+      } else {
+        res.tail = WalTailState::kTorn;
+        res.detail = name + ": record at offset " + std::to_string(pos) +
+                     " extends past end of segment";
+      }
       return res;
     }
     const std::string_view payload = image.substr(payload_at, length);
     if (RecordCrc(length, tn, payload) != stored) {
       // Decision rule: valid records AFTER a bad one mean the middle of
       // the log rotted — fail-stop. A bad record with nothing valid
-      // after it is the torn tail of the final (crashed) append.
-      if (AnyValidRecordFrom(image, payload_at + length)) {
+      // after it is the torn tail of the final (crashed) append. The
+      // probe starts right after the record's header position rather
+      // than length-hopping: the length field is part of what just
+      // failed verification and cannot be trusted for resync.
+      if (AnyValidRecordFrom(image, pos + 1)) {
         res.tail = WalTailState::kCorrupt;
         res.detail = name + ": CRC mismatch at offset " +
                      std::to_string(pos) +

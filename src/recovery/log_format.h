@@ -26,6 +26,10 @@ namespace mvcc {
 //     append); the valid prefix is salvageable.
 //   - parseable records after it             -> interior corruption (bit
 //     rot, misdirected write); fail-stop, the log cannot be trusted.
+// The "records after it" probe slides forward byte by byte looking for
+// a CRC-valid record; it never resynchronizes via the invalid record's
+// own length field, which is itself suspect (a flipped bit there must
+// not turn interior corruption into a salvageable-looking tail).
 
 inline constexpr uint64_t kWalSegmentMagic = 0x4D564343534731ULL;  // "MVCCSG1"
 inline constexpr size_t kWalSegmentHeaderBytes = 8;

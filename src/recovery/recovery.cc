@@ -91,6 +91,19 @@ Result<std::unique_ptr<Database>> OpenDatabaseDurable(
   if (report == nullptr) report = &local;
   *report = RecoveryReport{};
 
+  if (!ProtocolUsesCommitPipeline(options.protocol)) {
+    // Baselines append to the WAL only AFTER the commit is visible in
+    // memory (Database::DoCommit); against a real disk a failed append
+    // would leave concurrent readers having observed a never-durable
+    // commit. Durable mode therefore requires a pipeline-integrated
+    // (VC) protocol, whose append+fsync precedes VCcomplete.
+    return Status::InvalidArgument(
+        std::string(ProtocolKindName(options.protocol)) +
+        " logs commits after they become visible; durable mode requires "
+        "a VC protocol whose commits flush through the pipeline before "
+        "visibility");
+  }
+
   Status s = env->CreateDirIfMissing(dir);
   if (!s.ok()) return s;
   report->orphaned_temps_removed += DeleteOrphanedTempFiles(env, dir);
@@ -130,9 +143,12 @@ Result<std::unique_ptr<Database>> OpenDatabaseDurable(
                                     &report->replayed_batches);
   if (checkpoint_ptr != nullptr) {
     // Re-establish the truncation watermark (it is not persisted on its
-    // own — the durably-written checkpoint IS the watermark), deleting
-    // any segments the pre-crash truncation didn't get to.
-    db->wal()->Truncate(checkpoint_ptr->vtnc);
+    // own — the durable generations ARE the watermark), deleting any
+    // segments the pre-crash truncation didn't get to. The watermark is
+    // the floor over every still-loadable generation, NOT the loaded
+    // checkpoint's vtnc: a future open may fall back a generation and
+    // must still find its WAL replay gap on disk.
+    db->wal()->Truncate(CheckpointTruncationFloor(env, dir + "/ckpt"));
   }
   return db;
 }
@@ -143,9 +159,19 @@ Result<uint64_t> CheckpointAndTruncateDurable(Database* db, Env* env,
   Result<uint64_t> seq =
       SaveCheckpointDurable(env, dir + "/ckpt", checkpoint);
   if (!seq.ok()) return seq;
-  // Only after the generation is durable may the WAL forget the prefix
-  // it covers. This also reprobes and lifts the ENOSPC degraded mode.
-  if (db->wal() != nullptr) db->wal()->Truncate(checkpoint.vtnc);
+  // Only after the generation is durable may the WAL forget a prefix —
+  // and only up to the OLDEST retained loadable generation's vtnc, not
+  // the one just written: if the new generation later fails CRC,
+  // recovery falls back to the previous one and replays the WAL above
+  // ITS vtnc, so that gap must survive on disk. (Truncating to the new
+  // vtnc would delete the covered segments and turn the fallback into a
+  // silent hole.) Truncation always lags one generation; the prefix a
+  // checkpoint covers is only freed by the NEXT checkpoint, which
+  // prunes the older generation first. This call also reprobes and
+  // lifts the ENOSPC degraded mode.
+  if (db->wal() != nullptr) {
+    db->wal()->Truncate(CheckpointTruncationFloor(env, dir + "/ckpt"));
+  }
   return seq;
 }
 

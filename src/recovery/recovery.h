@@ -55,15 +55,25 @@ struct RecoveryReport {
 // log: commits append durably, and Database::Health() reflects the
 // log's failure state (kDataLoss fail-stop / kResourceExhausted
 // degraded read-only).
+//
+// Durable mode requires a pipeline-integrated (VC) protocol — their
+// commits flush to the WAL before VCcomplete makes them visible, so a
+// failed append rolls back unseen. Baseline protocols log after
+// visibility and are refused with kInvalidArgument (a real-disk append
+// failure there would mean readers already observed a never-durable
+// commit).
 Result<std::unique_ptr<Database>> OpenDatabaseDurable(
     DatabaseOptions options, Env* env, const std::string& dir,
     const WalDurableOptions& wal_options, RecoveryReport* report);
 
 // Takes a checkpoint of the running durable database, writes it as a
 // new generation (crash-safe temp+rename+dir-sync), then truncates the
-// WAL up to the checkpoint's vtnc — deleting covered segments, which is
-// what frees space and lifts the ENOSPC degraded mode. Returns the new
-// generation number.
+// WAL up to the floor of the retained loadable generations
+// (CheckpointTruncationFloor) — one generation BEHIND the checkpoint
+// just written, so that if it later fails CRC, fallback recovery still
+// finds the WAL gap above the previous generation's vtnc on disk.
+// Segment deletion under the floor is what frees space and lifts the
+// ENOSPC degraded mode. Returns the new generation number.
 Result<uint64_t> CheckpointAndTruncateDurable(Database* db, Env* env,
                                               const std::string& dir);
 

@@ -15,9 +15,12 @@ namespace {
 
 constexpr uint64_t kMagic = 0x4D564343574C3031ULL;  // "MVCCWL01"
 
+// Explicit little-endian packing: the simulated disk images written by
+// Serialize() round-trip through real files in tests, so they follow
+// the same byte-order rule as the durable formats in log_format.cc.
 void PutU64(std::string* out, uint64_t v) {
   char buf[8];
-  std::memcpy(buf, &v, 8);
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
   out->append(buf, 8);
 }
 
@@ -26,10 +29,17 @@ void PutString(std::string* out, const std::string& s) {
   out->append(s);
 }
 
-// Reads a u64 at *pos, advancing it. Returns false on underrun.
+// Reads a little-endian u64 at *pos, advancing it. Returns false on
+// underrun.
 bool GetU64(const std::string& in, size_t* pos, uint64_t* v) {
   if (*pos + 8 > in.size()) return false;
-  std::memcpy(v, in.data() + *pos, 8);
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(
+               static_cast<unsigned char>(in[*pos + i]))
+           << (8 * i);
+  }
+  *v = out;
   *pos += 8;
   return true;
 }

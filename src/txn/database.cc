@@ -36,6 +36,22 @@ std::string_view ProtocolKindName(ProtocolKind kind) {
   return "unknown";
 }
 
+bool ProtocolUsesCommitPipeline(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kVc2pl:
+    case ProtocolKind::kVcTo:
+    case ProtocolKind::kVcOcc:
+    case ProtocolKind::kVcAdaptive:
+      return true;
+    case ProtocolKind::kMvto:
+    case ProtocolKind::kMv2plCtl:
+    case ProtocolKind::kSv2pl:
+    case ProtocolKind::kWeihlTi:
+      return false;
+  }
+  return false;
+}
+
 namespace {
 
 std::unique_ptr<Protocol> MakeProtocol(const DatabaseOptions& options,
@@ -319,7 +335,11 @@ Status Database::DoCommit(TxnState* state) {
       if (!logged.ok()) {
         // Baselines have no pre-visibility durability point to unwind;
         // surface the failure (the in-memory commit stands, but it is
-        // not durable — the caller must treat it as lost).
+        // not durable — the caller must treat it as lost). This path is
+        // only reachable with the in-memory simulated-durability WAL:
+        // OpenDatabaseDurable refuses baseline protocols outright
+        // (ProtocolUsesCommitPipeline), so a real disk never backs this
+        // post-visibility append.
         counters_.durability_failures.fetch_add(1,
                                                 std::memory_order_relaxed);
         return logged;

@@ -39,6 +39,16 @@ enum class ProtocolKind {
 
 std::string_view ProtocolKindName(ProtocolKind kind);
 
+// True for the VC protocols, whose read-write commits run through the
+// shared CommitPipeline: the WAL append (and group fsync, in durable
+// mode) happens BEFORE VCcomplete makes the commit visible, so a failed
+// append rolls back a commit no reader has seen. The baselines instead
+// log after the commit is already visible in memory — fine for the
+// in-memory simulated-durability WAL, but unsound against a real disk
+// (an append failure would leave a visible-but-lost commit), so
+// OpenDatabaseDurable refuses them.
+bool ProtocolUsesCommitPipeline(ProtocolKind kind);
+
 struct DatabaseOptions {
   ProtocolKind protocol = ProtocolKind::kVc2pl;
 

@@ -16,6 +16,7 @@
 #include "recovery/env.h"
 #include "recovery/faulty_env.h"
 #include "recovery/file_io.h"
+#include "recovery/log_format.h"
 #include "recovery/recovery.h"
 #include "recovery/wal.h"
 #include "txn/database.h"
@@ -260,8 +261,9 @@ TEST(StorageFaultTest, CheckpointGenerationFallback) {
     EXPECT_EQ(report.checkpoint.generations_seen, 2u);
     EXPECT_EQ(report.checkpoint.generations_bad, 1u);
     EXPECT_EQ(report.checkpoint.loaded_generation, gen1);
-    // The WAL still holds the gap (segments are deleted only when a
-    // checkpoint covers a whole sealed segment), so nothing is lost.
+    // The WAL still holds the gap: truncation lags one generation
+    // behind the newest checkpoint precisely so this fallback can
+    // replay everything above gen1's vtnc.
     EXPECT_EQ(*(*db)->Get(0), "a");
     EXPECT_EQ(*(*db)->Get(1), "b");
     EXPECT_EQ(*(*db)->Get(2), "c");
@@ -278,6 +280,122 @@ TEST(StorageFaultTest, CheckpointGenerationFallback) {
   auto db = Open(GetPosixEnv(), dir, &report);
   EXPECT_FALSE(db.ok());
   EXPECT_TRUE(db.status().IsDataLoss()) << db.status().ToString();
+}
+
+TEST(StorageFaultTest, CheckpointFallbackSurvivesSegmentDeletion) {
+  // The dangerous shape of generation fallback: segments ROTATE between
+  // the two checkpoints, so truncating to the newest generation's vtnc
+  // would delete sealed segments in (gen1.vtnc, gen2.vtnc] — and a
+  // later fallback to gen1 would replay over a hole. Truncation must
+  // lag one generation behind to keep that gap replayable.
+  const std::string dir = TestDir("ckpt_fallback_rotate");
+  WalDurableOptions wopts;
+  wopts.segment_target_bytes = 256;  // rotate every few records
+  uint64_t gen1 = 0, gen2 = 0;
+  {
+    RecoveryReport report;
+    auto db = OpenDatabaseDurable(DurableOpts(), GetPosixEnv(), dir,
+                                  wopts, &report);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    for (uint64_t i = 0; i < kKeys; ++i) {
+      ASSERT_TRUE((*db)->Put(i, "g1-" + std::to_string(i)).ok());
+    }
+    auto g1 = CheckpointAndTruncateDurable(db->get(), GetPosixEnv(), dir);
+    ASSERT_TRUE(g1.ok());
+    gen1 = *g1;
+    const uint64_t segments_after_gen1 = (*db)->wal()->SegmentCount();
+    for (uint64_t i = 0; i < kKeys; ++i) {
+      ASSERT_TRUE((*db)->Put(i, "g2-" + std::to_string(i)).ok());
+    }
+    // Rotation sealed whole segments between the two checkpoints —
+    // exactly the bytes fallback recovery needs when gen2 rots.
+    ASSERT_GT((*db)->wal()->SegmentCount(), segments_after_gen1);
+    auto g2 = CheckpointAndTruncateDurable(db->get(), GetPosixEnv(), dir);
+    ASSERT_TRUE(g2.ok());
+    gen2 = *g2;
+    ASSERT_TRUE((*db)->Put(0, "tail").ok());
+  }
+  // Bit-rot the newest generation on disk.
+  const std::string gen2_path = dir + "/ckpt/" + CheckpointFileName(gen2);
+  {
+    auto image = ReadFile(gen2_path);
+    ASSERT_TRUE(image.ok());
+    std::string corrupt = *image;
+    ASSERT_GT(corrupt.size(), 16u);
+    corrupt[corrupt.size() / 2] ^= 0x01;
+    std::ofstream out(gen2_path, std::ios::binary | std::ios::trunc);
+    out << corrupt;
+  }
+  // Fallback to gen1 must replay every post-gen1 commit from the WAL,
+  // including those in segments a newest-vtnc truncation would have
+  // deleted. Silent loss here is the never-serve-a-hole violation.
+  RecoveryReport report;
+  auto db = OpenDatabaseDurable(DurableOpts(), GetPosixEnv(), dir,
+                                wopts, &report);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(report.checkpoint.loaded_generation, gen1);
+  EXPECT_EQ(*(*db)->Get(0), "tail");
+  for (uint64_t k = 1; k < kKeys; ++k) {
+    EXPECT_EQ(*(*db)->Get(k), "g2-" + std::to_string(k)) << "key " << k;
+  }
+}
+
+TEST(StorageFaultTest, CorruptLengthFieldIsNotATornTail) {
+  // A flipped bit in a record's LENGTH field both fails its CRC and
+  // poisons any length-based resync. The classifier must still see the
+  // valid records that follow (sliding probe) and call it interior
+  // corruption — salvaging "a torn tail" here would silently truncate
+  // acknowledged commits.
+  std::string image = EncodeWalSegmentHeader();
+  image += EncodeWalRecord(CommitBatch{1, 1, {{0, "aa"}}});
+  const size_t rec2 = image.size();
+  image += EncodeWalRecord(CommitBatch{2, 2, {{1, "bbb"}}});
+  const size_t rec3 = image.size();
+  image += EncodeWalRecord(CommitBatch{3, 3, {{2, "cccc"}}});
+
+  {
+    // Low bit of the interior record's length: record still "fits", CRC
+    // fails, and a length-hop resync would land one byte off.
+    std::string mangled = image;
+    mangled[rec2] ^= 0x01;
+    WalScanResult scan = ScanWalSegment(mangled, "t");
+    EXPECT_EQ(scan.tail, WalTailState::kCorrupt) << scan.detail;
+    EXPECT_EQ(scan.batches.size(), 1u);
+  }
+  {
+    // High bit of the interior record's length: the record claims to
+    // extend past the end of the segment, which must not read as torn
+    // while a valid record follows.
+    std::string mangled = image;
+    mangled[rec2 + 3] ^= 0x40;
+    WalScanResult scan = ScanWalSegment(mangled, "t");
+    EXPECT_EQ(scan.tail, WalTailState::kCorrupt) << scan.detail;
+    EXPECT_EQ(scan.batches.size(), 1u);
+  }
+  {
+    // The same damage in the FINAL record has nothing valid after it:
+    // that IS a torn tail, salvageable to the first two records.
+    std::string mangled = image;
+    mangled[rec3 + 3] ^= 0x40;
+    WalScanResult scan = ScanWalSegment(mangled, "t");
+    EXPECT_EQ(scan.tail, WalTailState::kTorn) << scan.detail;
+    EXPECT_EQ(scan.batches.size(), 2u);
+    EXPECT_EQ(scan.valid_bytes, rec3);
+  }
+}
+
+TEST(StorageFaultTest, DurableOpenRefusesPostVisibilityProtocols) {
+  // Baselines append to the WAL after the commit is already visible in
+  // memory; durable mode would acknowledge readers a commit that a
+  // failed append then loses. The open refuses the combination.
+  const std::string dir = TestDir("baseline_refused");
+  DatabaseOptions opts = DurableOpts();
+  opts.protocol = ProtocolKind::kMvto;
+  RecoveryReport report;
+  auto db = OpenDatabaseDurable(opts, GetPosixEnv(), dir,
+                                WalDurableOptions{}, &report);
+  EXPECT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsInvalidArgument()) << db.status().ToString();
 }
 
 TEST(StorageFaultTest, WriteFileAtomicCleansUpOrphanedTemps) {
