@@ -1,0 +1,347 @@
+// Read-path microbenchmark: the latched baseline (the pre-refactor
+// storage layer — a SpinLatch around every chain read and a
+// latch + unordered_map per store shard) against the latch-free
+// snapshot read path (epoch-pinned immutable version arrays plus the
+// lock-free open-addressing index).
+//
+// Claim measured: snapshot reads stop costing a latch acquisition, so
+// aggregate read throughput scales with threads instead of flatlining
+// on cache-line ping-pong. The latched baseline pays an exchange on
+// every Find AND every Read even when uncontended; under contention the
+// readers serialize against each other and against writers. The
+// latch-free path's read side is wait-free — an epoch pin (two
+// uncontended thread-local stores), an acquire table load, a bounded
+// probe, and a binary search over an immutable array.
+//
+// Sweep: threads x read_pct x preloaded chain depth, both
+// implementations, fixed wall-time per config. Writers install
+// globally-increasing version numbers (the in-order append fast path)
+// and periodically prune their chain, so memory stays bounded and the
+// write side exercises the republish path concurrently with readers.
+//
+// Writes BENCH_readpath.json via the shared report machinery.
+//
+// `--smoke` runs the CI tripwire: latched vs latch-free at 8 threads on
+// the read-heavy mix (95% reads, depth 64), interleaved repeats with a
+// median comparison, exit nonzero if the latch-free path falls clearly
+// behind the latched baseline — a regression here means a serialization
+// point crept back into the read path.
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/latch.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "storage/object_store.h"
+#include "storage/version.h"
+#include "storage/version_chain.h"
+#include "workload/report.h"
+
+namespace {
+
+using namespace mvcc;
+
+// ---------------------------------------------------------------------
+// Latched baseline: faithful reimplementation of the pre-refactor
+// storage layer. Kept here (not in src/) so the library carries exactly
+// one read path.
+// ---------------------------------------------------------------------
+
+class LatchedChain {
+ public:
+  void Install(Version v) {
+    std::lock_guard<SpinLatch> guard(latch_);
+    auto it = std::upper_bound(
+        versions_.begin(), versions_.end(), v.number,
+        [](VersionNumber n, const Version& x) { return n < x.number; });
+    versions_.insert(it, std::move(v));
+  }
+
+  Result<VersionRead> Read(TxnNumber at_most) const {
+    std::lock_guard<SpinLatch> guard(latch_);
+    auto it = std::upper_bound(
+        versions_.begin(), versions_.end(), at_most,
+        [](VersionNumber n, const Version& x) { return n < x.number; });
+    if (it == versions_.begin()) {
+      return Status::NotFound("no version <= snapshot");
+    }
+    --it;
+    return VersionRead{it->number, it->writer, it->value};
+  }
+
+  size_t Prune(VersionNumber watermark) {
+    std::lock_guard<SpinLatch> guard(latch_);
+    auto it = std::upper_bound(
+        versions_.begin(), versions_.end(), watermark,
+        [](VersionNumber n, const Version& x) { return n < x.number; });
+    if (it == versions_.begin()) return 0;
+    --it;  // newest version <= watermark survives
+    const size_t removed = static_cast<size_t>(it - versions_.begin());
+    versions_.erase(versions_.begin(), it);
+    return removed;
+  }
+
+ private:
+  mutable SpinLatch latch_;
+  std::vector<Version> versions_;
+};
+
+class LatchedStore {
+ public:
+  explicit LatchedStore(size_t num_shards) : shards_(num_shards) {}
+
+  LatchedChain* Find(ObjectKey key) const {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<SpinLatch> guard(shard.latch);
+    auto it = shard.map.find(key);
+    return it == shard.map.end() ? nullptr : it->second.get();
+  }
+
+  LatchedChain* GetOrCreate(ObjectKey key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<SpinLatch> guard(shard.latch);
+    std::unique_ptr<LatchedChain>& slot = shard.map[key];
+    if (slot == nullptr) slot = std::make_unique<LatchedChain>();
+    return slot.get();
+  }
+
+ private:
+  struct Shard {
+    mutable SpinLatch latch;
+    std::unordered_map<ObjectKey, std::unique_ptr<LatchedChain>> map;
+  };
+
+  Shard& ShardFor(ObjectKey key) const {
+    return shards_[key % shards_.size()];
+  }
+
+  mutable std::vector<Shard> shards_;
+};
+
+// ---------------------------------------------------------------------
+// Harness, templated over the store so both implementations run the
+// byte-identical workload loop.
+// ---------------------------------------------------------------------
+
+struct ReadPathResult {
+  double ops_per_sec = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+};
+
+// Database::DoRead pins the epoch once and amortizes it over the index
+// probe plus the chain read (inner guards just bump the depth counter).
+// The bench mirrors that; the latched baseline predates EBR and pins
+// nothing.
+template <typename Store>
+struct ReadScope {};
+template <>
+struct ReadScope<ObjectStore> {
+  EpochGuard guard;
+};
+
+constexpr uint64_t kKeys = 1024;
+constexpr size_t kShards = 64;
+
+template <typename Store>
+ReadPathResult RunConfig(int threads, int read_pct, int depth,
+                         int64_t run_ns) {
+  Store store(kShards);
+  std::atomic<uint64_t> version_counter{0};
+  const Value payload = "snapshot-read-payload";
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    auto* chain = store.GetOrCreate(key);
+    for (int d = 0; d < depth; ++d) {
+      chain->Install(Version{version_counter.fetch_add(1) + 1, payload, 0});
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> total_reads{0};
+  std::atomic<uint64_t> total_writes{0};
+  std::atomic<uint64_t> sink{0};  // defeats dead-read elimination
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+
+  const int64_t start = NowNanos();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Random rng(7777 + 131 * t);
+      uint64_t reads = 0;
+      uint64_t writes = 0;
+      uint64_t bytes = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const ObjectKey key = rng.Uniform(kKeys);
+        if (rng.Uniform(100) < static_cast<uint64_t>(read_pct)) {
+          const TxnNumber sn =
+              version_counter.load(std::memory_order_relaxed);
+          [[maybe_unused]] ReadScope<Store> scope;
+          auto* chain = store.Find(key);
+          if (chain != nullptr) {
+            const auto read = chain->Read(sn);
+            if (read.ok()) bytes += read->value.size();
+          }
+          ++reads;
+        } else {
+          const VersionNumber n = version_counter.fetch_add(1) + 1;
+          auto* chain = store.GetOrCreate(key);
+          chain->Install(Version{n, payload, TxnId(t) + 1});
+          // The real system prunes via GC; without it write-heavy mixes
+          // would grow chains (and their republish cost) without bound.
+          if (++writes % 256 == 0 && n > kKeys) chain->Prune(n - kKeys);
+        }
+      }
+      total_reads.fetch_add(reads, std::memory_order_relaxed);
+      total_writes.fetch_add(writes, std::memory_order_relaxed);
+      sink.fetch_add(bytes, std::memory_order_relaxed);
+    });
+  }
+
+  while (NowNanos() - start < run_ns) std::this_thread::yield();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : workers) w.join();
+  const double seconds = static_cast<double>(NowNanos() - start) / 1e9;
+
+  ReadPathResult out;
+  out.reads = total_reads.load();
+  out.writes = total_writes.load();
+  out.ops_per_sec = static_cast<double>(out.reads + out.writes) / seconds;
+  return out;
+}
+
+int RunSmoke() {
+  // CI tripwire, not a measurement: on the read-heavy mix at 8 threads
+  // the latch-free path must keep up with the per-read SpinLatch
+  // baseline. A real regression — a latch or equivalent serialization
+  // point back on the snapshot-read path — serializes 8 reader threads
+  // and lands far below the bar; the bar only absorbs machine noise.
+  // On shared CI runners that noise drifts throughput 2x across
+  // seconds, so absolute medians are useless — instead each round runs
+  // the two paths back to back (correlated noise) and the verdict is
+  // the MEDIAN of the per-round ratios: a descheduled window skews one
+  // round's ratio, not the median of five.
+  constexpr int64_t kSmokeNanos = 150 * 1000 * 1000;
+  constexpr int kRounds = 5;
+  constexpr double kMinRatio = 0.75;
+  std::vector<double> ratios;
+  for (int round = 0; round < kRounds; ++round) {
+    const ReadPathResult latched =
+        RunConfig<LatchedStore>(8, /*read_pct=*/95, /*depth=*/64, kSmokeNanos);
+    const ReadPathResult latchfree =
+        RunConfig<ObjectStore>(8, /*read_pct=*/95, /*depth=*/64, kSmokeNanos);
+    const double ratio =
+        latched.ops_per_sec > 0 ? latchfree.ops_per_sec / latched.ops_per_sec
+                                : 0.0;
+    ratios.push_back(ratio);
+    std::cout << "smoke round " << (round + 1) << ": latched@8 "
+              << static_cast<uint64_t>(latched.ops_per_sec)
+              << " ops/s, latch-free@8 "
+              << static_cast<uint64_t>(latchfree.ops_per_sec)
+              << " ops/s, ratio " << ratio << "\n";
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const double median_ratio = ratios[ratios.size() / 2];
+  std::cout << "smoke median latch-free/latched ratio: " << median_ratio
+            << " (bar " << kMinRatio << ")\n";
+  if (median_ratio < kMinRatio) {
+    std::cout << "FAIL: latch-free read path at 8 threads is slower than "
+                 "the latched baseline beyond the noise margin\n";
+    return 1;
+  }
+  std::cout << "OK\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return RunSmoke();
+  }
+
+  constexpr int64_t kRunNanos = 120 * 1000 * 1000;  // 120ms per rep
+  constexpr int kReps = 3;  // interleaved; the median rep is reported
+  std::cout << "Read path: latched (SpinLatch chain + latched hash map)\n"
+               "vs latch-free (epoch-pinned immutable arrays + lock-free\n"
+               "index), " << kKeys << " keys, median of " << kReps
+            << " interleaved 120ms reps per config.\n\n";
+
+  // Medians of interleaved reps (latched/latch-free alternating), so a
+  // load spike on the machine hits both implementations rather than
+  // deciding the comparison.
+  auto median = [](std::vector<ReadPathResult>& reps) {
+    std::sort(reps.begin(), reps.end(),
+              [](const ReadPathResult& a, const ReadPathResult& b) {
+                return a.ops_per_sec < b.ops_per_sec;
+              });
+    return reps[reps.size() / 2];
+  };
+
+  Table table({"impl", "threads", "read_pct", "depth", "ops/s",
+               "speedup_vs_latched", "reads", "writes"});
+  for (int threads : {1, 2, 4, 8, 16}) {
+    for (int read_pct : {50, 95, 100}) {
+      for (int depth : {4, 64}) {
+        std::vector<ReadPathResult> latched_reps;
+        std::vector<ReadPathResult> latchfree_reps;
+        for (int rep = 0; rep < kReps; ++rep) {
+          latched_reps.push_back(
+              RunConfig<LatchedStore>(threads, read_pct, depth, kRunNanos));
+          latchfree_reps.push_back(
+              RunConfig<ObjectStore>(threads, read_pct, depth, kRunNanos));
+        }
+        const ReadPathResult latched = median(latched_reps);
+        const ReadPathResult latchfree = median(latchfree_reps);
+        table.AddRow({"latched", Table::Num(uint64_t(threads)),
+                      Table::Num(uint64_t(read_pct)),
+                      Table::Num(uint64_t(depth)),
+                      Table::Num(latched.ops_per_sec, 0), Table::Num(1.0, 2),
+                      Table::Num(latched.reads),
+                      Table::Num(latched.writes)});
+        table.AddRow({"latchfree", Table::Num(uint64_t(threads)),
+                      Table::Num(uint64_t(read_pct)),
+                      Table::Num(uint64_t(depth)),
+                      Table::Num(latchfree.ops_per_sec, 0),
+                      Table::Num(latched.ops_per_sec > 0
+                                     ? latchfree.ops_per_sec /
+                                           latched.ops_per_sec
+                                     : 0.0,
+                                 2),
+                      Table::Num(latchfree.reads),
+                      Table::Num(latchfree.writes)});
+      }
+    }
+  }
+
+  table.Print(std::cout);
+  const std::string json = "BENCH_readpath.json";
+  if (table.WriteJsonFile(json)) {
+    std::cout << "\nwrote " << json << "\n";
+  } else {
+    std::cout << "\nfailed to write " << json << "\n";
+  }
+  std::cout << "\nexpected shape: at one thread the two paths are close\n"
+               "(an uncontended SpinLatch is one exchange, and an epoch\n"
+               "pin two thread-local stores). As threads land on separate\n"
+               "cores the latched line flattens — every read bounces the\n"
+               "chain latch's cache line, and readers convoy behind\n"
+               "writers holding it across vector shifts — while the\n"
+               "latch-free line keeps climbing: reads share the version\n"
+               "arrays read-only, so the gap is widest at 100%% reads and\n"
+               "deep chains. Caveat: the comparison is only meaningful\n"
+               "when thread count <= core count. On a single-core or\n"
+               "oversubscribed machine the latch is never contended (the\n"
+               "holder is rarely preempted inside a sub-microsecond\n"
+               "critical section), so both lines just measure per-op cost\n"
+               "and sit within noise of each other.\n";
+  return 0;
+}

@@ -49,7 +49,7 @@ class ScalabilityFixture : public benchmark::Fixture {
     WorkloadSpec spec;
     spec.num_keys = kKeys;
     spec.zipf_theta = 0.6;
-    spec.read_only_fraction = 0.5;
+    spec.read_only_fraction = ro_fraction_;
     spec.ro_ops = 6;
     spec.rw_ops = 6;
     WorkloadGenerator gen(spec, state.thread_index() + 1);
@@ -75,8 +75,9 @@ class ScalabilityFixture : public benchmark::Fixture {
   }
 
  protected:
-  // The protocol is fixed by the derived fixture before SetUp runs.
+  // The protocol and mix are fixed by the derived fixture before SetUp.
   ProtocolKind kind_ = ProtocolKind::kVc2pl;
+  double ro_fraction_ = 0.5;
 
  private:
   std::mutex mu_;
@@ -102,6 +103,31 @@ MVCC_SCALABILITY_BENCH(Mvto, ProtocolKind::kMvto);
 MVCC_SCALABILITY_BENCH(Sv2pl, ProtocolKind::kSv2pl);
 
 #undef MVCC_SCALABILITY_BENCH
+
+// Read-heavy mix: 95% read-only transactions, the workload the
+// latch-free snapshot read path targets. Version control's readers
+// never touch a latch or shared cache line, so the VC line should pull
+// away from single-version 2PL (whose readers still take locks) as
+// threads grow.
+#define MVCC_SCALABILITY_BENCH_RO(name, kind)                     \
+  class name##Fixture : public ScalabilityFixture {               \
+   public:                                                        \
+    name##Fixture() {                                             \
+      kind_ = kind;                                               \
+      ro_fraction_ = 0.95;                                        \
+    }                                                             \
+  };                                                              \
+  BENCHMARK_DEFINE_F(name##Fixture, name)                         \
+  (benchmark::State & state) { RunMix(state); }                   \
+  BENCHMARK_REGISTER_F(name##Fixture, name)                       \
+      ->ThreadRange(1, 16)                                        \
+      ->UseRealTime()
+
+MVCC_SCALABILITY_BENCH_RO(Vc2plReadHeavy, ProtocolKind::kVc2pl);
+MVCC_SCALABILITY_BENCH_RO(MvtoReadHeavy, ProtocolKind::kMvto);
+MVCC_SCALABILITY_BENCH_RO(Sv2plReadHeavy, ProtocolKind::kSv2pl);
+
+#undef MVCC_SCALABILITY_BENCH_RO
 
 }  // namespace
 }  // namespace mvcc

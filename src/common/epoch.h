@@ -1,0 +1,231 @@
+#ifndef MVCC_COMMON_EPOCH_H_
+#define MVCC_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace mvcc {
+
+// Epoch-based reclamation (EBR) for the latch-free snapshot read path.
+//
+// The storage layer publishes immutable snapshots (version arrays, index
+// tables) behind atomic pointers. Writers replace a snapshot with a
+// pointer swap and must eventually free the old one — but a reader that
+// loaded the old pointer may still be walking it, and the paper's
+// headline guarantee is that readers never block, so they cannot take a
+// latch to say so. Instead readers pin the current *epoch* for the
+// duration of each read (EpochGuard), writers *retire* replaced
+// snapshots instead of freeing them, and retired memory is freed only
+// after the global epoch has advanced twice past the retirement epoch —
+// by which point every reader that could have loaded the old pointer has
+// unpinned (the grace period of classic three-epoch EBR, Fraser 2004;
+// the same discipline Larson et al. 2012 use for latch-free version
+// access in main-memory MVCC).
+//
+// Invariants:
+//   - A thread pins the epoch it observes in the global counter; the
+//     global epoch only advances when every pinned slot equals it, so
+//     pinned epochs always lie in {global-1, global}.
+//   - An object must be unlinked (unreachable from the published
+//     structure) BEFORE Retire() is called. Readers that pin after the
+//     unlink cannot reach it; readers that could reach it are pinned at
+//     an epoch <= the retirement tag.
+//   - Retired memory with tag e is freed once global >= e + 2: advancing
+//     to e+1 and then e+2 each required every pinned reader to be at the
+//     then-current epoch, so no reader pinned at <= e survives.
+//
+// Costs: Pin is one thread-local access plus one seq_cst store and one
+// seq_cst fence on a cache line private to the thread (padded slots); no
+// shared-line RMW, so readers scale. Nested guards only bump a
+// thread-local depth counter. Retire takes a mutex — it sits on the
+// write/prune slow path, which already serializes on the chain latch.
+class EpochManager {
+ public:
+  // One slot per live thread, cache-line padded so pins never contend.
+  static constexpr size_t kMaxThreads = 512;
+  static constexpr uint64_t kIdle = ~0ull;  // slot value: not pinned
+
+  // Process-wide manager. Function-local static: destroyed after main()
+  // returns (all database threads joined), freeing any still-retired
+  // memory so leak checkers stay quiet. Inline so the guard check on
+  // the read path is a load and a branch, not a function call.
+  static EpochManager& Global() {
+    static EpochManager manager;
+    return manager;
+  }
+
+  EpochManager();
+  ~EpochManager();
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  // Pins the calling thread to the current epoch; returns the pinned
+  // epoch. Re-entrant: nested pins are counted and only the outermost
+  // publishes/clears the slot. Defined inline below — this is the one
+  // fixed cost on every latch-free read, so it must compile down to
+  // direct thread-local accesses plus the publish store/fence.
+  uint64_t Pin();
+  void Unpin();
+
+  // True while the calling thread holds at least one pin.
+  static bool CurrentThreadPinned();
+
+  // Defers freeing `p` (via `deleter(p)`) until no reader pinned at or
+  // before the current epoch can still hold a reference. `p` must
+  // already be unlinked from every published structure.
+  void Retire(void* p, void (*deleter)(void*));
+
+  template <typename T>
+  void Retire(T* p) {
+    Retire(p, [](void* q) { delete static_cast<T*>(q); });
+  }
+
+  // Tries to advance the global epoch (possible only when every pinned
+  // thread has observed the current one) and frees every retired object
+  // whose grace period has elapsed. Returns the number of objects freed.
+  // Safe to call from a pinned thread: its own pin simply blocks the
+  // advance past its epoch, never deadlocks.
+  size_t Advance();
+
+  uint64_t global_epoch() const {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+
+  // Objects retired but not yet freed (tests, GC accounting).
+  size_t retired_count() const {
+    return retired_count_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t total_freed() const {
+    return total_freed_.load(std::memory_order_relaxed);
+  }
+  uint64_t epochs_advanced() const {
+    return epochs_advanced_.load(std::memory_order_relaxed);
+  }
+
+  // One reader slot, cache-line padded so pins never contend. Public
+  // only so the inline Pin/Unpin below can touch it through the
+  // thread-local state; not part of the conceptual API.
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{kIdle};
+    std::atomic<bool> owned{false};
+  };
+
+ private:
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+    uint64_t epoch;  // global epoch at retirement
+  };
+
+  // Cold path: claims a slot for this thread and registers the
+  // thread-exit hand-back. Runs once per thread.
+  Slot* AcquireSlot();
+
+  // Frees retired objects with tag <= global - 2. Caller holds retire_mu_.
+  size_t FreeExpiredLocked(uint64_t global);
+
+  // Auto-advance threshold: Retire kicks Advance once this many objects
+  // are pending, bounding memory growth without a dedicated thread.
+  static constexpr size_t kRetireThreshold = 128;
+
+  // Issues a full memory barrier on every thread of the process —
+  // membarrier(PRIVATE_EXPEDITED) where available, else a no-op (readers
+  // then keep their own fence). Called by Advance before scanning slots.
+  void HeavyBarrier();
+
+  // True when Pin must fence itself (no expedited membarrier support).
+  // Set once at construction, before any reader exists.
+  bool reader_fence_needed_ = true;
+
+  std::atomic<uint64_t> global_epoch_{1};
+  Slot slots_[kMaxThreads];
+
+  std::mutex retire_mu_;
+  std::vector<Retired> retired_;  // guarded by retire_mu_
+  std::atomic<size_t> retired_count_{0};
+  std::atomic<uint64_t> total_freed_{0};
+  std::atomic<uint64_t> epochs_advanced_{0};
+};
+
+namespace epoch_detail {
+
+// Hot per-thread pin state. Deliberately trivially constructible AND
+// trivially destructible: that lets the compiler constant-initialize it
+// and emit direct TLS loads on the read path, instead of routing every
+// access through the lazy-init thread wrapper a nontrivial thread_local
+// requires. The slot hand-back on thread exit — which does need a
+// destructor — lives in a separate thread_local registered inside
+// AcquireSlot, off the hot path.
+struct EpochTls {
+  EpochManager::Slot* slot;
+  uint64_t depth;
+  uint64_t pinned_epoch;
+};
+extern thread_local constinit EpochTls g_epoch_tls;
+
+}  // namespace epoch_detail
+
+inline uint64_t EpochManager::Pin() {
+  epoch_detail::EpochTls& ts = epoch_detail::g_epoch_tls;
+  if (ts.depth++ > 0) return ts.pinned_epoch;
+  if (ts.slot == nullptr) ts.slot = AcquireSlot();
+  // Publish the epoch we observe, then re-check: if the global advanced
+  // between the load and the store we re-publish the newer value. The
+  // loop settles within two rounds — once our slot shows epoch e, the
+  // global cannot pass e+1 (advancing to e+2 would require our slot to
+  // show e+1).
+  //
+  // Store-to-load ordering between the slot publish and later reads of
+  // shared structures is what reclamation safety hangs on. When the
+  // kernel supports expedited membarrier, Advance imposes that ordering
+  // from ITS side (a process-wide barrier before scanning the slots —
+  // the urcu-memb construction), and the pin is fence-free: a release
+  // store and a load, the whole fixed cost of a latch-free read.
+  // Otherwise the reader pays a seq_cst fence pairing with the fence in
+  // Advance. A pin that lags one advance is tolerated either way: the
+  // slot shows the previous epoch, which blocks the NEXT advance, and
+  // the two-epoch grace period holds.
+  uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  while (true) {
+    ts.slot->epoch.store(e, std::memory_order_release);
+    if (reader_fence_needed_) {
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+    }
+    const uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
+    if (now == e) break;
+    e = now;
+  }
+  ts.pinned_epoch = e;
+  return e;
+}
+
+inline void EpochManager::Unpin() {
+  epoch_detail::EpochTls& ts = epoch_detail::g_epoch_tls;
+  if (--ts.depth == 0) {
+    ts.slot->epoch.store(kIdle, std::memory_order_release);
+  }
+}
+
+inline bool EpochManager::CurrentThreadPinned() {
+  return epoch_detail::g_epoch_tls.depth > 0;
+}
+
+// RAII pin on the process-wide epoch manager. Cheap and re-entrant:
+// every latch-free read helper takes one internally, and outer layers
+// (a transaction's whole read, a replica scan) may hold one across many
+// inner reads so the inner guards reduce to a depth-counter bump.
+class EpochGuard {
+ public:
+  EpochGuard() { EpochManager::Global().Pin(); }
+  ~EpochGuard() { EpochManager::Global().Unpin(); }
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+};
+
+}  // namespace mvcc
+
+#endif  // MVCC_COMMON_EPOCH_H_

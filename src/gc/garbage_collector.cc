@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/epoch.h"
+
 namespace mvcc {
 
 GarbageCollector::GarbageCollector(ObjectStore* store, VersionControl* vc,
@@ -30,6 +32,15 @@ void GarbageCollector::Stop() {
 
 size_t GarbageCollector::RunOnce() {
   const size_t reclaimed = store_->PruneAll(Watermark());
+  // Pruning only unlinks: replaced version arrays sit on the epoch
+  // manager's retire list until every reader that could hold them has
+  // unpinned. Advance the epoch twice so garbage unlinked by THIS pass
+  // normally clears its two-epoch grace period by the pass's end
+  // (each call advances at most one epoch, and only when no reader
+  // straddles the previous one).
+  size_t freed = EpochManager::Global().Advance();
+  freed += EpochManager::Global().Advance();
+  ebr_freed_.fetch_add(freed, std::memory_order_relaxed);
   total_reclaimed_.fetch_add(reclaimed, std::memory_order_relaxed);
   passes_.fetch_add(1, std::memory_order_relaxed);
   return reclaimed;

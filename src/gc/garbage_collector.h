@@ -52,6 +52,13 @@ class GarbageCollector {
   }
   uint64_t passes() const { return passes_.load(std::memory_order_relaxed); }
 
+  // Retired snapshots (version arrays, index tables) whose grace period
+  // elapsed and that this collector's epoch advances actually freed.
+  // Pruning unlinks versions; this is the deferred second half.
+  uint64_t ebr_freed() const {
+    return ebr_freed_.load(std::memory_order_relaxed);
+  }
+
  private:
   void Loop(std::chrono::milliseconds interval);
 
@@ -65,6 +72,7 @@ class GarbageCollector {
   std::thread thread_;
   std::atomic<uint64_t> total_reclaimed_{0};
   std::atomic<uint64_t> passes_{0};
+  std::atomic<uint64_t> ebr_freed_{0};
 };
 
 }  // namespace mvcc

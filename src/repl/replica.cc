@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/epoch.h"
 #include "common/sim_hook.h"
 #include "common/status.h"
 #include "storage/version.h"
@@ -79,6 +80,9 @@ size_t Replica::ApplyOnce() {
          it = reorder_.erase(it), ++next_seq_) {
       const ReplRecord& rec = it->second;
       if (rec.has_batch) {
+        // One epoch pin per batch: the installs' index probes and any
+        // chain republishes all nest under it.
+        EpochGuard epoch_guard;
         for (const LoggedWrite& write : rec.batch.writes) {
           store_->GetOrCreate(write.key)->Install(
               Version{rec.batch.tn, write.value, rec.batch.txn});
@@ -150,6 +154,7 @@ Result<VersionRead> Replica::SnapshotRead(TxnNumber sn, ObjectKey key) const {
     std::lock_guard<std::mutex> lock(mu_);
     store = store_;
   }
+  EpochGuard epoch_guard;
   VersionChain* chain = store->Find(key);
   if (chain == nullptr) return Status::NotFound("no such key on replica");
   return chain->Read(sn);
@@ -159,6 +164,9 @@ ReplicaReadTxn::~ReplicaReadTxn() = default;
 
 Result<Value> ReplicaReadTxn::Read(ObjectKey key) {
   SimSchedulePoint("repl.read");
+  // Replica reads are wait-free end to end: epoch pin, latch-free index
+  // probe, latch-free chain read — same discipline as the primary.
+  EpochGuard epoch_guard;
   VersionChain* chain = store_->Find(key);
   if (chain == nullptr) {
     return Status::NotFound("key not visible at replica snapshot");
@@ -172,6 +180,7 @@ Result<Value> ReplicaReadTxn::Read(ObjectKey key) {
 Result<std::vector<std::pair<ObjectKey, Value>>> ReplicaReadTxn::Scan(
     ObjectKey lo, ObjectKey hi) {
   SimSchedulePoint("repl.read");
+  EpochGuard epoch_guard;
   std::vector<std::pair<ObjectKey, Value>> out;
   for (ObjectKey key : store_->KeysInRange(lo, hi)) {
     VersionChain* chain = store_->Find(key);

@@ -1,12 +1,14 @@
 #ifndef MVCC_STORAGE_OBJECT_STORE_H_
 #define MVCC_STORAGE_OBJECT_STORE_H_
 
+#include <atomic>
 #include <cstddef>
+#include <limits>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
+#include "common/epoch.h"
 #include "common/ids.h"
 #include "common/latch.h"
 #include "common/result.h"
@@ -19,9 +21,20 @@ namespace mvcc {
 // is deliberately protocol-agnostic: it knows nothing about locks,
 // timestamps, or visibility — that is the whole point of the paper's
 // modular decomposition.
+//
+// Point lookup (Find) is lock-free: each shard publishes an
+// open-addressing table of (key, chain) slots behind an atomic pointer.
+// Keys are only ever inserted, never deleted (garbage collection removes
+// versions, not objects), so a probe that reaches an empty slot has
+// proven absence and a slot, once published, is immutable — readers CAS
+// nothing, store nothing, and take no latch. Inserts (GetOrCreate) keep
+// a per-shard latch for the slow path; a table that outgrows its load
+// factor is replaced by a pointer swap and the old one retired through
+// epoch-based reclamation, so concurrent latch-free probes stay safe.
 class ObjectStore {
  public:
   explicit ObjectStore(size_t num_shards = 64);
+  ~ObjectStore();
   ObjectStore(const ObjectStore&) = delete;
   ObjectStore& operator=(const ObjectStore&) = delete;
 
@@ -30,13 +43,23 @@ class ObjectStore {
   void Preload(uint64_t num_keys, const Value& initial_value);
 
   // Returns the chain for `key`, or nullptr if the key does not exist.
+  // Lock-free and wait-free: one published-table load plus a bounded
+  // probe sequence. The returned chain lives as long as the store.
   VersionChain* Find(ObjectKey key) const;
 
   // Returns the chain for `key`, creating an empty chain if absent.
   VersionChain* GetOrCreate(ObjectKey key);
 
   // Total committed versions retained across all chains (GC accounting).
+  // One relaxed load per shard: chains debit/credit their shard's
+  // counter inside Install/Remove/Prune, so nothing walks the chains.
+  // Debug builds cross-check against the full scan (callers must be
+  // quiescent there, as the two snapshots race under concurrency).
   size_t TotalVersions() const;
+
+  // The O(keys) scan TotalVersions used to be; kept for the debug
+  // cross-check and for tests that want ground truth.
+  size_t TotalVersionsSlow() const;
 
   // Number of distinct keys.
   size_t NumKeys() const;
@@ -51,14 +74,67 @@ class ObjectStore {
   }
 
  private:
+  // Reserved sentinel marking an empty slot. Stores reject it as a key
+  // (the workload key domain never reaches 2^64 - 1).
+  static constexpr ObjectKey kEmptyKey =
+      std::numeric_limits<ObjectKey>::max();
+
+  // One open-addressing slot. An insert wires the chain pointer first
+  // (plain store — the slot is unreachable until the key publishes),
+  // then release-stores the key; a reader that acquire-loads the key
+  // therefore sees a fully-constructed chain. Slots never empty out.
+  struct Slot {
+    std::atomic<ObjectKey> key{kEmptyKey};
+    std::atomic<VersionChain*> chain{nullptr};
+  };
+
+  // One published generation of a shard's index. Replaced wholesale on
+  // growth; old generations are retired through EBR because latch-free
+  // probes may still hold them. Tables hold non-owning chain pointers —
+  // chain ownership stays with the shard. Header and slots share one
+  // allocation (trailing array) so a probe is table -> slot, not
+  // table -> slot-array -> slot: one less dependent cache miss on the
+  // latch-free read path.
+  struct Table {
+    const size_t capacity;  // power of two
+    const size_t mask;
+
+    Slot* slots() { return reinterpret_cast<Slot*>(this + 1); }
+    const Slot* slots() const {
+      return reinterpret_cast<const Slot*>(this + 1);
+    }
+
+    static Table* Make(size_t capacity);
+    // Destroys and deallocates; shaped as an EBR deleter.
+    static void Free(void* p);
+
+   private:
+    explicit Table(size_t cap) : capacity(cap), mask(cap - 1) {}
+    ~Table() = default;
+  };
+
   struct Shard {
-    mutable SpinLatch latch;
-    std::unordered_map<ObjectKey, std::unique_ptr<VersionChain>> chains;
+    mutable SpinLatch latch;             // insert slow path only
+    std::atomic<Table*> table{nullptr};  // published index generation
+    std::atomic<size_t> num_keys{0};
+    // Net committed versions across this shard's chains, maintained by
+    // the chains themselves (relaxed; see TotalVersions).
+    std::atomic<int64_t> num_versions{0};
   };
 
   Shard& ShardFor(ObjectKey key) const {
     return shards_[key % shards_.size()];
   }
+
+  static uint64_t HashKey(ObjectKey key);
+
+  // Probes `table` for `key`; nullptr if absent.
+  static VersionChain* Probe(const Table* table, ObjectKey key);
+
+  // Inserts under the shard latch; caller verified absence.
+  void InsertLocked(Shard& shard, ObjectKey key, VersionChain* chain);
+
+  static constexpr size_t kInitialTableCapacity = 16;
 
   mutable std::vector<Shard> shards_;
   KeyIndex index_;

@@ -1,97 +1,136 @@
 #include "storage/version_chain.h"
 
 #include <algorithm>
-#include <string>
+#include <new>
+#include <utility>
 
 namespace mvcc {
 
-namespace {
+VersionChain::VersionChain(std::atomic<int64_t>* version_counter)
+    : array_(VersionArray::Make(kInitialCapacity)),
+      version_counter_(version_counter) {}
 
-// Comparator for binary search over the ascending version vector.
-bool NumberLess(const Version& v, VersionNumber n) { return v.number < n; }
-
-}  // namespace
-
-Result<VersionRead> VersionChain::Read(TxnNumber at_most) const {
-  std::lock_guard<SpinLatch> guard(latch_);
-  // upper_bound over numbers: first version with number > at_most.
-  auto it = std::upper_bound(
-      versions_.begin(), versions_.end(), at_most,
-      [](TxnNumber n, const Version& v) { return n < v.number; });
-  if (it == versions_.begin()) {
-    return Status::NotFound("no version <= " + std::to_string(at_most));
-  }
-  --it;
-  return VersionRead{it->number, it->writer, it->value};
+VersionChain::~VersionChain() {
+  // Retired generations are freed by the epoch manager; only the live
+  // one is ours. Callers guarantee no reader holds the chain here.
+  VersionArray::Free(array_.load(std::memory_order_relaxed));
 }
 
-Result<VersionRead> VersionChain::ReadLatest() const {
-  std::lock_guard<SpinLatch> guard(latch_);
-  if (versions_.empty()) return Status::NotFound("empty version chain");
-  const Version& v = versions_.back();
-  return VersionRead{v.number, v.writer, v.value};
+VersionChain::VersionArray* VersionChain::VersionArray::Make(size_t capacity) {
+  static_assert(alignof(Version) <= alignof(VersionArray),
+                "trailing slots would be misaligned");
+  void* mem = ::operator new(sizeof(VersionArray) + capacity * sizeof(Version));
+  auto* arr = new (mem) VersionArray(capacity);
+  Version* s = arr->slots();
+  for (size_t i = 0; i < capacity; ++i) new (&s[i]) Version();
+  return arr;
 }
 
-Result<VersionRead> VersionChain::ReadIf(
-    TxnNumber at_most,
-    const std::function<bool(VersionNumber)>& pred) const {
-  std::lock_guard<SpinLatch> guard(latch_);
-  auto it = std::upper_bound(
-      versions_.begin(), versions_.end(), at_most,
-      [](TxnNumber n, const Version& v) { return n < v.number; });
-  while (it != versions_.begin()) {
-    --it;
-    if (pred(it->number)) {
-      return VersionRead{it->number, it->writer, it->value};
-    }
-  }
-  return Status::NotFound("no qualifying version <= " +
-                          std::to_string(at_most));
+void VersionChain::VersionArray::Free(void* p) {
+  auto* arr = static_cast<VersionArray*>(p);
+  Version* s = arr->slots();
+  for (size_t i = arr->capacity; i > 0; --i) s[i - 1].~Version();
+  arr->~VersionArray();
+  ::operator delete(p);
 }
 
 void VersionChain::Install(Version v) {
   std::lock_guard<SpinLatch> guard(latch_);
-  if (versions_.empty() || versions_.back().number < v.number) {
-    versions_.push_back(std::move(v));
+  VersionArray* arr = array_.load(std::memory_order_relaxed);
+  const size_t n = arr->count.load(std::memory_order_relaxed);
+  if (version_counter_ != nullptr) {
+    version_counter_->fetch_add(1, std::memory_order_relaxed);
+  }
+  if ((n == 0 || arr->slots()[n - 1].number < v.number) && n < arr->capacity) {
+    // Common case: commits arrive in ascending tn order and spare
+    // capacity exists. Fill the writer-private slot, then publish it
+    // with a release store of the count — concurrent readers loaded a
+    // smaller count and never look at slot n.
+    arr->slots()[n] = std::move(v);
+    arr->count.store(n + 1, std::memory_order_release);
     return;
   }
-  // Rare path: a TO writer with a smaller tn committed after a larger one.
-  auto it = std::lower_bound(versions_.begin(), versions_.end(), v.number,
-                             NumberLess);
-  versions_.insert(it, std::move(v));
+  // Rare path: capacity exhausted, or a TO writer with a smaller tn
+  // committed after a larger one. Copy into a fresh array and swap.
+  const size_t insert_at = UpperBound(arr, n, v.number);
+  Republish(arr, n, insert_at, &v, /*drop_from=*/0, /*drop_to=*/0);
 }
 
 bool VersionChain::Remove(VersionNumber number) {
   std::lock_guard<SpinLatch> guard(latch_);
-  auto it = std::lower_bound(versions_.begin(), versions_.end(), number,
-                             NumberLess);
-  if (it == versions_.end() || it->number != number) return false;
-  versions_.erase(it);
+  VersionArray* arr = array_.load(std::memory_order_relaxed);
+  const size_t n = arr->count.load(std::memory_order_relaxed);
+  const size_t idx = UpperBound(arr, n, number);
+  if (idx == 0 || arr->slots()[idx - 1].number != number) return false;
+  Republish(arr, n, /*insert_at=*/SIZE_MAX, nullptr, idx - 1, idx);
+  if (version_counter_ != nullptr) {
+    version_counter_->fetch_sub(1, std::memory_order_relaxed);
+  }
   return true;
 }
 
 size_t VersionChain::Prune(VersionNumber watermark) {
   std::lock_guard<SpinLatch> guard(latch_);
-  // Find newest version with number <= watermark; everything before it is
+  VersionArray* arr = array_.load(std::memory_order_relaxed);
+  const size_t n = arr->count.load(std::memory_order_relaxed);
+  // Index of the newest version <= watermark; everything before it is
   // unreachable by any current or future reader.
-  auto it = std::upper_bound(
-      versions_.begin(), versions_.end(), watermark,
-      [](VersionNumber n, const Version& v) { return n < v.number; });
-  if (it == versions_.begin()) return 0;
-  --it;  // the version that must be retained
-  const size_t removed = static_cast<size_t>(it - versions_.begin());
-  versions_.erase(versions_.begin(), it);
+  const size_t cut = UpperBound(arr, n, watermark);
+  if (cut <= 1) return 0;
+  const size_t removed = cut - 1;
+  Republish(arr, n, /*insert_at=*/SIZE_MAX, nullptr, /*drop_from=*/0,
+            /*drop_to=*/removed);
+  if (version_counter_ != nullptr) {
+    version_counter_->fetch_sub(static_cast<int64_t>(removed),
+                                std::memory_order_relaxed);
+  }
   return removed;
 }
 
+void VersionChain::Republish(VersionArray* old, size_t old_count,
+                             size_t insert_at, const Version* v,
+                             size_t drop_from, size_t drop_to) {
+  const size_t kept = old_count - (drop_to - drop_from);
+  const size_t new_count = kept + (v != nullptr ? 1 : 0);
+  // Capacity policy mirrors a vector's: grow geometrically, and shrink
+  // only when the survivors occupy under an eighth of the array. Sizing
+  // at new_count*2 unconditionally looks tidy but collapses capacity on
+  // every Prune, after which a handful of in-order installs exhaust the
+  // array and force another full republish — under install/prune churn
+  // that alternation made writes allocate on almost every call.
+  size_t capacity = std::max(kInitialCapacity, old->capacity);
+  if (new_count * 2 > capacity) {
+    capacity = std::max(capacity * 2, new_count * 2);
+  } else if (capacity > kInitialCapacity && new_count * 8 <= capacity) {
+    capacity /= 2;
+  }
+  auto* fresh = VersionArray::Make(capacity);
+  size_t out = 0;
+  for (size_t i = 0; i <= old_count; ++i) {
+    if (v != nullptr && i == insert_at) fresh->slots()[out++] = *v;
+    if (i == old_count) break;
+    if (i >= drop_from && i < drop_to) continue;
+    fresh->slots()[out++] = old->slots()[i];
+  }
+  fresh->count.store(new_count, std::memory_order_relaxed);
+  // The release store publishes the fully-built array; readers that
+  // acquire-load the pointer see every slot and the count. The old
+  // generation may still be held by pinned readers — retire, never free.
+  array_.store(fresh, std::memory_order_release);
+  EpochManager::Global().Retire(old, &VersionArray::Free);
+}
+
 size_t VersionChain::size() const {
-  std::lock_guard<SpinLatch> guard(latch_);
-  return versions_.size();
+  EpochGuard guard;
+  const VersionArray* arr = array_.load(std::memory_order_acquire);
+  return arr->count.load(std::memory_order_acquire);
 }
 
 VersionNumber VersionChain::LatestNumber() const {
-  std::lock_guard<SpinLatch> guard(latch_);
-  return versions_.empty() ? kInvalidTxnNumber : versions_.back().number;
+  EpochGuard guard;
+  const VersionArray* arr = array_.load(std::memory_order_acquire);
+  const size_t n = arr->count.load(std::memory_order_acquire);
+  return n == 0 ? kInvalidTxnNumber : arr->slots()[n - 1].number;
 }
 
 }  // namespace mvcc

@@ -1,11 +1,14 @@
 #ifndef MVCC_STORAGE_VERSION_CHAIN_H_
 #define MVCC_STORAGE_VERSION_CHAIN_H_
 
+#include <atomic>
 #include <cstddef>
-#include <functional>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
+#include "common/epoch.h"
 #include "common/ids.h"
 #include "common/latch.h"
 #include "common/result.h"
@@ -14,12 +17,35 @@
 namespace mvcc {
 
 // The list of committed versions of one object, ordered by ascending
-// version number. All operations are internally synchronized with a
-// short spin latch; blocking-on-pending-writes semantics belong to the
-// concurrency control protocols, never to the chain itself.
+// version number.
+//
+// Reads are latch-free and wait-free: the chain keeps its versions in an
+// immutable array published through an atomic pointer, with the number
+// of committed entries release-published in a separate counter. A reader
+// pins the reclamation epoch (EpochGuard), acquire-loads the array
+// pointer and the count, and binary-searches entries that can never
+// change underneath it — no latch, no retry loop, no store to shared
+// state. This is how the paper's "read-only transactions never block"
+// guarantee survives contention: visibility is coordinated by vtnc and
+// the published count, not by mutual exclusion.
+//
+// Writes keep the short spin latch. The common case — a version younger
+// than every existing one, i.e. commits arriving in tn order — appends
+// in place into spare capacity and publishes it by bumping the count
+// (release store; slots below the count are immutable). The rare cases
+// (capacity exhausted, a TO writer committing out of tn order, Remove
+// rollbacks, Prune) copy into a fresh array and publish it with a
+// pointer swap; the old array is retired through the epoch manager and
+// freed only after every reader that could hold it has unpinned.
+// Blocking-on-pending-writes semantics belong to the concurrency control
+// protocols, never to the chain itself.
 class VersionChain {
  public:
-  VersionChain() = default;
+  // `version_counter`, when non-null, is bumped by Install and debited
+  // by Remove/Prune — the object store aggregates these per shard so
+  // GC accounting never walks the chains (see ObjectStore::TotalVersions).
+  explicit VersionChain(std::atomic<int64_t>* version_counter = nullptr);
+  ~VersionChain();
   VersionChain(const VersionChain&) = delete;
   VersionChain& operator=(const VersionChain&) = delete;
 
@@ -27,19 +53,49 @@ class VersionChain {
   // (the read rule of Figure 2). NotFound if every version is younger,
   // which can only happen if garbage collection violated its watermark
   // contract or the object was created after the reader's snapshot.
-  Result<VersionRead> Read(TxnNumber at_most) const;
+  // Inline (like ReadLatest below): this is the hottest path in the
+  // system and the call boundary alone was measurable against it.
+  Result<VersionRead> Read(TxnNumber at_most) const {
+    EpochGuard guard;
+    const VersionArray* arr = array_.load(std::memory_order_acquire);
+    const size_t n = arr->count.load(std::memory_order_acquire);
+    const size_t idx = UpperBound(arr, n, at_most);
+    if (idx == 0) {
+      return Status::NotFound("no version <= " + std::to_string(at_most));
+    }
+    const Version& v = arr->slots()[idx - 1];
+    return VersionRead{v.number, v.writer, v.value};
+  }
 
   // Returns the most recent committed version (the 2PL read rule,
   // sn = infinity). NotFound on an empty chain.
-  Result<VersionRead> ReadLatest() const;
+  Result<VersionRead> ReadLatest() const {
+    EpochGuard guard;
+    const VersionArray* arr = array_.load(std::memory_order_acquire);
+    const size_t n = arr->count.load(std::memory_order_acquire);
+    if (n == 0) return Status::NotFound("empty version chain");
+    const Version& v = arr->slots()[n - 1];
+    return VersionRead{v.number, v.writer, v.value};
+  }
 
   // Returns the newest version with number <= `at_most` whose number also
   // satisfies `pred`, scanning backwards. Used by the MV2PL-CTL baseline,
   // whose readers must additionally check that the version's creator
-  // appears in their completed-transaction-list copy.
-  Result<VersionRead> ReadIf(
-      TxnNumber at_most,
-      const std::function<bool(VersionNumber)>& pred) const;
+  // appears in their completed-transaction-list copy. Templated so the
+  // hot read path never pays a std::function type-erasure allocation.
+  template <typename Pred>
+  Result<VersionRead> ReadIf(TxnNumber at_most, const Pred& pred) const {
+    EpochGuard guard;
+    const VersionArray* arr = array_.load(std::memory_order_acquire);
+    const size_t n = arr->count.load(std::memory_order_acquire);
+    size_t idx = UpperBound(arr, n, at_most);
+    while (idx > 0) {
+      const Version& v = arr->slots()[--idx];
+      if (pred(v.number)) return VersionRead{v.number, v.writer, v.value};
+    }
+    return Status::NotFound("no qualifying version <= " +
+                            std::to_string(at_most));
+  }
 
   // Inserts a committed version. Version numbers are unique per object
   // (writers are serialized by the CC protocol); out-of-order installs
@@ -66,8 +122,63 @@ class VersionChain {
   VersionNumber LatestNumber() const;
 
  private:
-  mutable SpinLatch latch_;
-  std::vector<Version> versions_;  // ascending by number
+  // One published generation of the chain: slots()[0..count) are
+  // immutable and ascending by number; slots at index >= count are
+  // writer-private spare capacity. Readers synchronize on `count`
+  // (acquire) for in-place appends and on the owning chain's array
+  // pointer (acquire) for swaps; a swapped-out array is retired through
+  // EBR, never freed in place.
+  //
+  // Header and slots live in ONE allocation (trailing array), so a read
+  // is two dependent loads (chain -> array -> slot) instead of three —
+  // on a cold chain that third hop is a full cache miss, and it put the
+  // latch-free path behind the latched vector it replaced.
+  struct VersionArray {
+    const size_t capacity;
+    std::atomic<size_t> count{0};
+
+    Version* slots() { return reinterpret_cast<Version*>(this + 1); }
+    const Version* slots() const {
+      return reinterpret_cast<const Version*>(this + 1);
+    }
+
+    static VersionArray* Make(size_t capacity);
+    // Destroys and deallocates; shaped as an EBR deleter.
+    static void Free(void* p);
+
+   private:
+    explicit VersionArray(size_t cap) : capacity(cap) {}
+    ~VersionArray() = default;
+  };
+
+  // First index in slots()[0..n) whose number exceeds `at_most`.
+  static size_t UpperBound(const VersionArray* arr, size_t n,
+                           TxnNumber at_most) {
+    const Version* slots = arr->slots();
+    size_t lo = 0;
+    size_t hi = n;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (slots[mid].number <= at_most) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  // Builds and publishes a replacement array under latch_, retiring the
+  // old one. `insert_at` is the slot where `v` lands (SIZE_MAX = none),
+  // `drop_from`..`drop_to` is a half-open range to omit.
+  void Republish(VersionArray* old, size_t old_count, size_t insert_at,
+                 const Version* v, size_t drop_from, size_t drop_to);
+
+  static constexpr size_t kInitialCapacity = 4;
+
+  mutable SpinLatch latch_;  // serializes writers; readers never touch it
+  std::atomic<VersionArray*> array_;
+  std::atomic<int64_t>* const version_counter_;
 };
 
 }  // namespace mvcc

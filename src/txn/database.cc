@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "common/epoch.h"
+
 #include "baselines/mv2pl_ctl.h"
 #include "baselines/mvto.h"
 #include "baselines/sv2pl.h"
@@ -212,7 +214,11 @@ uint64_t Database::VisibilityLag() const { return vc_.QueueSize(); }
 Result<Value> Database::DoRead(TxnState* state, ObjectKey key) {
   if (state->is_read_only() && protocol_->ReadOnlyBypass()) {
     // Figure 2: return x_j with the largest version <= sn(T). No
-    // concurrency control module is involved; the read never blocks.
+    // concurrency control module is involved; the read never blocks —
+    // and since PR 5, takes no latch either: one epoch pin covers the
+    // index probe and the chain read (the inner guards re-enter for
+    // free), and both walk immutable published snapshots.
+    EpochGuard epoch_guard;
     VersionChain* chain = store_.Find(key);
     if (chain == nullptr) {
       return Status::NotFound("key " + std::to_string(key));
@@ -239,7 +245,9 @@ Result<Value> Database::DoRead(TxnState* state, ObjectKey key) {
 Result<std::vector<std::pair<ObjectKey, Value>>> Database::DoScan(
     TxnState* state, ObjectKey lo, ObjectKey hi) {
   if (state->is_read_only() && protocol_->ReadOnlyBypass()) {
-    // Snapshot scan: the version rule excludes phantoms for free.
+    // Snapshot scan: the version rule excludes phantoms for free. One
+    // epoch pin amortized over every per-key probe and chain read.
+    EpochGuard epoch_guard;
     std::vector<std::pair<ObjectKey, Value>> out;
     for (ObjectKey key : store_.KeysInRange(lo, hi)) {
       VersionChain* chain = store_.Find(key);

@@ -348,8 +348,13 @@ size_t VersionControl::QueueSize() const {
     std::lock_guard<std::mutex> guard(mu_);
     return queue_.size();
   }
-  const uint64_t assigned = counter_.load(std::memory_order_acquire) - 1;
+  // Load drain_ BEFORE counter_: drain_ only grows and never passes
+  // assigned, so this order bounds the snapshot (drained <= assigned)
+  // even when completions land between the two loads. The reverse order
+  // let a concurrent Complete push drain_ past the stale assigned value
+  // and underflow `pending` to ~2^64.
   const uint64_t drained = drain_.load(std::memory_order_acquire);
+  const uint64_t assigned = counter_.load(std::memory_order_acquire) - 1;
   const uint64_t skipped = gap_tns_.load(std::memory_order_acquire);
   const uint64_t pending = assigned - drained;
   return pending > skipped ? static_cast<size_t>(pending - skipped) : 0;

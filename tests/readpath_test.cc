@@ -1,0 +1,357 @@
+// Stress and unit tests for the latch-free snapshot read path (PR 5):
+// epoch-based reclamation, the immutable-array version chain, and the
+// lock-free object-store index. The stress tests are written for the
+// sanitizer matrix — under TSan they are the proof that no latch
+// acquisition (and no silent data race) is reachable from a read-only
+// transaction's read.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/epoch.h"
+#include "storage/object_store.h"
+#include "storage/version_chain.h"
+
+namespace mvcc {
+namespace {
+
+// ---------------------------------------------------------------------
+// Epoch-based reclamation unit tests.
+// ---------------------------------------------------------------------
+
+struct FreedMarker {
+  std::atomic<bool>* flag;
+};
+
+void MarkFreed(void* p) {
+  auto* marker = static_cast<FreedMarker*>(p);
+  marker->flag->store(true, std::memory_order_release);
+  delete marker;
+}
+
+TEST(EpochTest, RetirementNeverFreesUnderActiveGuard) {
+  EpochManager& mgr = EpochManager::Global();
+  std::atomic<bool> freed{false};
+  {
+    EpochGuard guard;
+    mgr.Retire(new FreedMarker{&freed}, MarkFreed);
+    // However hard reclamation is driven, a pinned reader blocks the
+    // grace period: the epoch can advance past our pin at most once.
+    for (int i = 0; i < 8; ++i) mgr.Advance();
+    EXPECT_FALSE(freed.load(std::memory_order_acquire));
+  }
+  for (int i = 0; i < 4 && !freed.load(std::memory_order_acquire); ++i) {
+    mgr.Advance();
+  }
+  EXPECT_TRUE(freed.load(std::memory_order_acquire));
+}
+
+TEST(EpochTest, GuardsAreReentrant) {
+  EXPECT_FALSE(EpochManager::CurrentThreadPinned());
+  {
+    EpochGuard outer;
+    EXPECT_TRUE(EpochManager::CurrentThreadPinned());
+    {
+      EpochGuard inner;
+      EXPECT_TRUE(EpochManager::CurrentThreadPinned());
+    }
+    // The inner guard's destruction must not unpin the outer one.
+    EXPECT_TRUE(EpochManager::CurrentThreadPinned());
+  }
+  EXPECT_FALSE(EpochManager::CurrentThreadPinned());
+}
+
+TEST(EpochTest, PinBlocksAdvanceFromAnotherThread) {
+  EpochManager& mgr = EpochManager::Global();
+  // Drain pre-existing garbage so the assertion below is about OUR
+  // retirement only.
+  for (int i = 0; i < 4; ++i) mgr.Advance();
+
+  std::atomic<bool> freed{false};
+  std::atomic<bool> pinned{false};
+  std::atomic<bool> release{false};
+  std::thread reader([&] {
+    EpochGuard guard;
+    pinned.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  while (!pinned.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  mgr.Retire(new FreedMarker{&freed}, MarkFreed);
+  for (int i = 0; i < 8; ++i) mgr.Advance();
+  EXPECT_FALSE(freed.load(std::memory_order_acquire));
+
+  release.store(true, std::memory_order_release);
+  reader.join();
+  for (int i = 0; i < 4 && !freed.load(std::memory_order_acquire); ++i) {
+    mgr.Advance();
+  }
+  EXPECT_TRUE(freed.load(std::memory_order_acquire));
+}
+
+// ---------------------------------------------------------------------
+// Version-chain stress: concurrent latch-free readers vs. in-order
+// installs, out-of-order installs, pruning, and Remove rollbacks, with
+// the Figure-2 read rule as the oracle.
+// ---------------------------------------------------------------------
+
+// Value payload long enough that a torn read (a version observed with
+// another version's value) cannot masquerade as correct.
+std::string ValueFor(VersionNumber n) {
+  return std::to_string(n) + ":" + std::string(16 + n % 7, 'x');
+}
+
+// Sanitizers serialize every atomic op, so the same interleaving
+// coverage needs far fewer iterations to finish in CI time.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr uint64_t kStressScale = 1;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr uint64_t kStressScale = 1;
+#else
+constexpr uint64_t kStressScale = 10;
+#endif
+#else
+constexpr uint64_t kStressScale = 10;
+#endif
+
+constexpr uint64_t kIdleSn = ~0ull;
+
+TEST(ReadPathStressTest, ChainReadersVsInstallersPrunerAndRemover) {
+  VersionChain chain;
+  chain.Install(Version{2, ValueFor(2), 1});
+
+  // floor = largest even version the dense installer has published;
+  // every even number <= floor is installed. Mirrors vtnc.
+  std::atomic<uint64_t> floor{2};
+  std::atomic<bool> stop{false};
+
+  constexpr int kReaders = 4;
+  std::atomic<uint64_t> active[kReaders];
+  for (auto& a : active) a.store(kIdleSn);
+
+  std::atomic<uint64_t> violations{0};
+  std::mutex first_mu;
+  std::string first_violation;
+  auto report = [&](const std::string& what) {
+    violations.fetch_add(1);
+    std::lock_guard<std::mutex> lock(first_mu);
+    if (first_violation.empty()) first_violation = what;
+  };
+
+  // Dense installer: versions 4, 6, 8, ... in order (the common
+  // append-only fast path), publishing the floor after each install.
+  std::thread dense([&] {
+    const uint64_t kMaxEven = 2 + 2 * 3000 * kStressScale;
+    for (uint64_t n = 4; n <= kMaxEven; n += 2) {
+      chain.Install(Version{n, ValueFor(n), 1});
+      floor.store(n, std::memory_order_release);
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  // Out-of-order installer: odd versions near the floor, installed
+  // newest-first within each block so the middle-insert republish path
+  // runs constantly. Blocks are disjoint, so numbers stay unique.
+  std::thread ooo([&] {
+    uint64_t base = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      base = std::max(floor.load(std::memory_order_acquire), base + 12);
+      chain.Install(Version{base + 9, ValueFor(base + 9), 2});
+      chain.Install(Version{base + 3, ValueFor(base + 3), 2});
+      chain.Install(Version{base + 7, ValueFor(base + 7), 2});
+      chain.Install(Version{base + 5, ValueFor(base + 5), 2});
+      std::this_thread::yield();
+    }
+  });
+
+  // Remover: simulates the commit pipeline's durability rollback —
+  // installs a version no reader's snapshot can cover, then removes it.
+  std::thread remover([&] {
+    uint64_t n = uint64_t{1} << 40;
+    while (!stop.load(std::memory_order_acquire)) {
+      chain.Install(Version{n, ValueFor(n), 3});
+      if (!chain.Remove(n)) report("Remove lost an installed version");
+      n += 2;
+      // Both calls above are latched full-array republishes; without a
+      // yield this loop starves the in-order installer on the TTAS latch.
+      std::this_thread::yield();
+    }
+  });
+
+  // Pruner: watermark = min(floor, min active reader sn), the real GC
+  // rule. Readers publish their pin BEFORE taking their snapshot, so a
+  // reader missed by the scan has sn >= every watermark computed so far.
+  std::thread pruner([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      // seq_cst scan: pairs with the readers' seq_cst pin publication so
+      // a missed reader provably took its snapshot after this watermark.
+      uint64_t watermark = floor.load(std::memory_order_seq_cst);
+      for (const auto& a : active) {
+        watermark = std::min(watermark, a.load(std::memory_order_seq_cst));
+      }
+      chain.Prune(watermark);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      uint64_t seq = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        // Pin first, then snapshot — the Database::Begin discipline.
+        const uint64_t pin = floor.load(std::memory_order_acquire);
+        active[t].store(pin, std::memory_order_seq_cst);
+        const uint64_t f = floor.load(std::memory_order_seq_cst);
+        const uint64_t sn = f + (seq++ % 4);  // sometimes above the floor
+        const auto read = chain.Read(sn);
+        if (!read.ok()) {
+          report("Read(" + std::to_string(sn) + ") found no version");
+        } else {
+          // Figure-2 rule: largest version <= sn. Every even <= f is
+          // installed and the pruner retains the newest version <= its
+          // watermark <= sn, so the result is at least f — and its
+          // payload must be exactly the one its creator wrote.
+          if (read->version > sn) {
+            report("version " + std::to_string(read->version) + " > sn " +
+                   std::to_string(sn));
+          }
+          if (read->version < f) {
+            report("version " + std::to_string(read->version) +
+                   " below floor " + std::to_string(f));
+          }
+          if (read->value != ValueFor(read->version)) {
+            report("torn read at version " + std::to_string(read->version));
+          }
+        }
+        // A latch-free point probe of ReadIf down the same snapshot.
+        if ((seq & 15) == 0) {
+          const auto filtered =
+              chain.ReadIf(sn, [](VersionNumber v) { return v % 2 == 0; });
+          if (!filtered.ok() || filtered->version < f ||
+              filtered->version > sn || filtered->version % 2 != 0) {
+            report("ReadIf broke the even-version rule");
+          }
+        }
+        active[t].store(kIdleSn, std::memory_order_seq_cst);
+      }
+    });
+  }
+
+  dense.join();
+  ooo.join();
+  remover.join();
+  pruner.join();
+  for (auto& r : readers) r.join();
+
+  EXPECT_EQ(violations.load(), 0u) << first_violation;
+  EpochManager::Global().Advance();
+}
+
+// ---------------------------------------------------------------------
+// Object-store index stress: latch-free Find vs. concurrent inserts and
+// table growth.
+// ---------------------------------------------------------------------
+
+TEST(ReadPathStressTest, StoreIndexFindVsGetOrCreateAndResize) {
+  ObjectStore store(4);  // few shards -> many per-shard table resizes
+  constexpr int kCreators = 3;
+  constexpr int kReadersPerCreator = 2;
+  const uint64_t kKeysPerCreator = 800 * kStressScale;
+
+  // progress[t] = highest key of creator t whose chain is fully
+  // installed (release-published so readers can trust the contents).
+  std::atomic<uint64_t> progress[kCreators];
+  for (auto& p : progress) p.store(0);
+
+  std::atomic<uint64_t> violations{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kCreators; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint64_t i = 1; i <= kKeysPerCreator; ++i) {
+        const ObjectKey key = i * kCreators + t;
+        VersionChain* chain = store.GetOrCreate(key);
+        chain->Install(Version{1, ValueFor(key), 1});
+        progress[t].store(i, std::memory_order_release);
+      }
+    });
+    for (int r = 0; r < kReadersPerCreator; ++r) {
+      threads.emplace_back([&, t, r] {
+        uint64_t rng = 88172645463325252ull + t * 131 + r;
+        uint64_t done = 0;
+        while (done < kKeysPerCreator) {
+          done = progress[t].load(std::memory_order_acquire);
+          if (done == 0) continue;
+          rng ^= rng << 13;
+          rng ^= rng >> 7;
+          rng ^= rng << 17;
+          const uint64_t i = 1 + rng % done;
+          const ObjectKey key = i * kCreators + t;
+          VersionChain* chain = store.Find(key);
+          if (chain == nullptr) {
+            violations.fetch_add(1);  // published key must be findable
+            continue;
+          }
+          const auto read = chain->ReadLatest();
+          if (!read.ok() || read->value != ValueFor(key)) {
+            violations.fetch_add(1);
+          }
+          // Keys nobody ever creates must probe to absence, not crash.
+          if (store.Find(key + 1000000) != nullptr) {
+            violations.fetch_add(1);
+          }
+        }
+      });
+    }
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_EQ(store.NumKeys(), kCreators * kKeysPerCreator);
+  EXPECT_EQ(store.TotalVersions(), kCreators * kKeysPerCreator);
+}
+
+// After arbitrary concurrent churn the relaxed per-shard counters must
+// agree with ground truth once quiescent — the contract behind the
+// O(shards) TotalVersions that GC accounting now uses.
+TEST(ReadPathStressTest, VersionCountersAgreeWithSlowScanWhenQuiescent) {
+  ObjectStore store(8);
+  store.Preload(256, "0");
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      for (uint64_t i = 1; i <= 3000; ++i) {
+        const ObjectKey key = (t * 67 + i) % 256;
+        VersionChain* chain = store.GetOrCreate(key);
+        const VersionNumber n = i * 8 + t + 1;
+        chain->Install(Version{n, ValueFor(n), 1});
+        if (i % 16 == 0) chain->Prune(n / 2);
+        if (i % 64 == 0) {
+          chain->Install(Version{n + (uint64_t{1} << 50), "doomed", 1});
+          chain->Remove(n + (uint64_t{1} << 50));
+        }
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+
+  EXPECT_EQ(store.TotalVersions(), store.TotalVersionsSlow());
+  const size_t before = store.TotalVersions();
+  const size_t pruned = store.PruneAll(uint64_t{1} << 40);
+  EXPECT_EQ(store.TotalVersions(), before - pruned);
+  EXPECT_EQ(store.TotalVersions(), store.TotalVersionsSlow());
+}
+
+}  // namespace
+}  // namespace mvcc
