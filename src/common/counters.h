@@ -2,9 +2,53 @@
 #define MVCC_COMMON_COUNTERS_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 
 namespace mvcc {
+
+// Relaxed striped tally for hot-path accounting (version counts in the
+// object store). A single shared atomic turns every Install/Prune into
+// a cache-line ping between writer threads; striping by thread spreads
+// the RMWs over independent padded cells so the count-bump disappears
+// from the write path's contention profile. Sum() is O(stripes) and,
+// like any relaxed aggregate, only exact when the system is quiescent —
+// concurrent readers see a value that was never necessarily the true
+// total at any instant (each cell is read at a different time). That is
+// the right contract for GC accounting and metrics; anything needing
+// ground truth takes the slow scan.
+class StripedCounter {
+ public:
+  static constexpr size_t kStripes = 32;
+
+  void Add(int64_t delta) {
+    cells_[StripeForThread()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  int64_t Sum() const {
+    int64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<int64_t> v{0};
+  };
+
+  static size_t StripeForThread() {
+    // Registration-order stripe assignment: consecutive threads land on
+    // distinct cells (a thread-id hash would collide at random).
+    static std::atomic<size_t> next{0};
+    thread_local size_t stripe =
+        next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+    return stripe;
+  }
+
+  Cell cells_[kStripes];
+};
 
 // Global event counters, incremented by protocols as synchronization events
 // happen. These are the measured quantities behind the paper's comparative

@@ -117,46 +117,58 @@ void EpochManager::Retire(void* p, void (*deleter)(void*)) {
 }
 
 size_t EpochManager::Advance() {
-  std::lock_guard<std::mutex> lock(retire_mu_);  // one advancer at a time
-  HeavyBarrier();
-  uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
-  bool can_advance = true;
-  for (const Slot& slot : slots_) {
-    if (!slot.owned.load(std::memory_order_acquire)) continue;
-    const uint64_t pinned = slot.epoch.load(std::memory_order_seq_cst);
-    if (pinned != kIdle && pinned != e) {
-      // A reader is still in the previous epoch; its grace period has
-      // not elapsed. (A pinned thread calling Advance blocks itself
-      // here once its own pin lags — never deadlocks, just defers.)
-      can_advance = false;
-      break;
+  std::vector<Retired> expired;
+  uint64_t e;
+  {
+    std::lock_guard<std::mutex> lock(retire_mu_);  // one advancer at a time
+    HeavyBarrier();
+    e = global_epoch_.load(std::memory_order_seq_cst);
+    bool can_advance = true;
+    for (const Slot& slot : slots_) {
+      if (!slot.owned.load(std::memory_order_acquire)) continue;
+      const uint64_t pinned = slot.epoch.load(std::memory_order_seq_cst);
+      if (pinned != kIdle && pinned != e) {
+        // A reader is still in the previous epoch; its grace period has
+        // not elapsed. (A pinned thread calling Advance blocks itself
+        // here once its own pin lags — never deadlocks, just defers.)
+        can_advance = false;
+        break;
+      }
     }
+    if (can_advance) {
+      global_epoch_.store(e + 1, std::memory_order_seq_cst);
+      epochs_advanced_.fetch_add(1, std::memory_order_relaxed);
+      e = e + 1;
+    }
+    CollectExpiredLocked(e, &expired);
   }
-  if (can_advance) {
-    global_epoch_.store(e + 1, std::memory_order_seq_cst);
-    epochs_advanced_.fetch_add(1, std::memory_order_relaxed);
-    e = e + 1;
-  }
-  const size_t freed = FreeExpiredLocked(e);
-  SimObserve(this, "ebr.advance", e, freed);
-  return freed;
+  // Deleters run OUTSIDE retire_mu_: slab recycling re-enters arena
+  // latches and a deleter is free to call Retire (which takes this
+  // mutex) — and a slow destructor must not stall every concurrent
+  // retirer behind the lock.
+  for (const Retired& r : expired) r.deleter(r.ptr);
+  total_freed_.fetch_add(expired.size(), std::memory_order_relaxed);
+  // Deliberately NOT hashing the absolute epoch: the manager is
+  // process-global, so the counter is monotonic ACROSS simulation runs
+  // and would make same-seed replays hash differently. The event's
+  // position in the schedule plus the expired count is the run-relative
+  // signal.
+  SimObserve(this, "ebr.advance", expired.size(), 0);
+  return expired.size();
 }
 
-size_t EpochManager::FreeExpiredLocked(uint64_t global) {
-  size_t freed = 0;
+void EpochManager::CollectExpiredLocked(uint64_t global,
+                                        std::vector<Retired>* expired) {
   size_t keep = 0;
   for (size_t i = 0; i < retired_.size(); ++i) {
     if (retired_[i].epoch + 2 <= global) {
-      retired_[i].deleter(retired_[i].ptr);
-      ++freed;
+      expired->push_back(retired_[i]);
     } else {
       retired_[keep++] = retired_[i];
     }
   }
   retired_.resize(keep);
   retired_count_.store(keep, std::memory_order_relaxed);
-  total_freed_.fetch_add(freed, std::memory_order_relaxed);
-  return freed;
 }
 
 }  // namespace mvcc

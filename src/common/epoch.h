@@ -27,8 +27,13 @@ namespace mvcc {
 //
 // Invariants:
 //   - A thread pins the epoch it observes in the global counter; the
-//     global epoch only advances when every pinned slot equals it, so
-//     pinned epochs always lie in {global-1, global}.
+//     global epoch only advances when every pinned slot equals it. With
+//     expedited membarrier a published pin may lag by more than one
+//     epoch (the store is not re-validated), which can only delay
+//     advances — the membarrier in Advance guarantees any reader whose
+//     pin the scan missed sees every unlink retired before the scan.
+//     Without membarrier the pin re-validates, so pinned epochs lie in
+//     {global-1, global}.
 //   - An object must be unlinked (unreachable from the published
 //     structure) BEFORE Retire() is called. Readers that pin after the
 //     unlink cannot reach it; readers that could reach it are pinned at
@@ -125,8 +130,9 @@ class EpochManager {
   // thread-exit hand-back. Runs once per thread.
   Slot* AcquireSlot();
 
-  // Frees retired objects with tag <= global - 2. Caller holds retire_mu_.
-  size_t FreeExpiredLocked(uint64_t global);
+  // Moves retired objects with tag <= global - 2 into `expired` for the
+  // caller to free after dropping the mutex. Caller holds retire_mu_.
+  void CollectExpiredLocked(uint64_t global, std::vector<Retired>* expired);
 
   // Auto-advance threshold: Retire kicks Advance once this many objects
   // are pending, bounding memory growth without a dedicated thread.
@@ -183,21 +189,30 @@ inline uint64_t EpochManager::Pin() {
   // shared structures is what reclamation safety hangs on. When the
   // kernel supports expedited membarrier, Advance imposes that ordering
   // from ITS side (a process-wide barrier before scanning the slots —
-  // the urcu-memb construction), and the pin is fence-free: a release
-  // store and a load, the whole fixed cost of a latch-free read.
-  // Otherwise the reader pays a seq_cst fence pairing with the fence in
-  // Advance. A pin that lags one advance is tolerated either way: the
-  // slot shows the previous epoch, which blocks the NEXT advance, and
-  // the two-epoch grace period holds.
+  // the urcu-memb construction), and the pin is ONE load and ONE store,
+  // the whole fixed cost of a latch-free read. No re-validation is
+  // needed even when the published epoch is stale by the time the store
+  // lands: if Advance's scan saw the store, the reader's seq_cst load of
+  // the epoch it published synchronizes-with the advance that installed
+  // that epoch, so the reader already sees every unlink whose tag its
+  // pin protects against freeing; if the scan missed the store, the
+  // membarrier orders all of the reader's subsequent loads after the
+  // scan, so they see every unlink retired before it. A stale slot can
+  // only delay future advances (liveness), never unprotect memory.
+  //
+  // Without membarrier support the reader pays a seq_cst fence pairing
+  // with the fence in Advance, and re-validates the published epoch so
+  // its slot never lags more than one advance.
   uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
-  while (true) {
-    ts.slot->epoch.store(e, std::memory_order_release);
-    if (reader_fence_needed_) {
+  ts.slot->epoch.store(e, std::memory_order_release);
+  if (reader_fence_needed_) {
+    while (true) {
       std::atomic_thread_fence(std::memory_order_seq_cst);
+      const uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
+      if (now == e) break;
+      e = now;
+      ts.slot->epoch.store(e, std::memory_order_release);
     }
-    const uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
-    if (now == e) break;
-    e = now;
   }
   ts.pinned_epoch = e;
   return e;
@@ -220,10 +235,16 @@ inline bool EpochManager::CurrentThreadPinned() {
 // inner reads so the inner guards reduce to a depth-counter bump.
 class EpochGuard {
  public:
-  EpochGuard() { EpochManager::Global().Pin(); }
-  ~EpochGuard() { EpochManager::Global().Unpin(); }
+  // The manager reference is resolved once in the constructor so the
+  // destructor skips Global()'s static-initialization guard check — two
+  // such checks per guard were visible on the depth-4 read path.
+  EpochGuard() : manager_(EpochManager::Global()) { manager_.Pin(); }
+  ~EpochGuard() { manager_.Unpin(); }
   EpochGuard(const EpochGuard&) = delete;
   EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochManager& manager_;
 };
 
 }  // namespace mvcc

@@ -41,6 +41,11 @@ size_t GarbageCollector::RunOnce() {
   size_t freed = EpochManager::Global().Advance();
   freed += EpochManager::Global().Advance();
   ebr_freed_.fetch_add(freed, std::memory_order_relaxed);
+  // Those advances are also what returns dead arena slabs to their
+  // shards' free lists (slab recycling is just another EBR deleter);
+  // snapshot the store-wide cumulative count for reporting.
+  arena_slabs_freed_.store(store_->ArenaStats().slabs_freed,
+                           std::memory_order_relaxed);
   total_reclaimed_.fetch_add(reclaimed, std::memory_order_relaxed);
   passes_.fetch_add(1, std::memory_order_relaxed);
   return reclaimed;

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/epoch.h"
 #include "dist/distributed_db.h"
 #include "history/serializability.h"
 #include "recovery/recovery.h"
@@ -156,6 +157,19 @@ SimReport ExploreOnce(const ExploreOptions& options) {
   dopt.deadlock_policy = options.deadlock_policy;
   dopt.enable_wal =
       options.enable_wal || options.faults.crash_at_wal_append >= 0;
+  // The gc task drives GarbageCollector::RunOnce directly; the
+  // collector only exists when enable_gc is on (no background thread is
+  // started — the sim owns the cadence).
+  dopt.enable_gc = options.gc_task;
+  if (options.gc_task) {
+    // Reclamation events feed the schedule hash, and the epoch manager
+    // is process-global: leftovers retired by a previous run (or test)
+    // would shift this run's retire-threshold advances and expired
+    // counts. Start every run from a drained retire list so same-seed
+    // replays see identical reclamation interleavings. (No hook is
+    // installed yet, so these advances hash nothing.)
+    for (int i = 0; i < 4; ++i) EpochManager::Global().Advance();
+  }
   Database db(dopt);
   if (options.literal_figure1_discard) {
     db.version_control().SetLiteralFigure1DiscardForTest(true);
@@ -242,6 +256,22 @@ SimReport ExploreOnce(const ExploreOptions& options) {
             txn->Commit();
           }
         });
+  }
+
+  if (options.gc_task) {
+    sched.Spawn("gc", /*expect_wait_free=*/false, [&] {
+      // One reclamation pass per turn until the writers quiesce, then a
+      // final pass over whatever they left behind. RunOnce never yields
+      // internally (its SimObserve points — chain.republish,
+      // arena.retire_slab, ebr.advance — are observe-only), so each
+      // pass is one atomic step in the explored interleaving.
+      while (writers_done.load(std::memory_order_acquire) <
+             options.writer_tasks) {
+        db.gc()->RunOnce();
+        SimSchedulePoint("task.gc");
+      }
+      db.gc()->RunOnce();
+    });
   }
 
   if (options.currency_reader) {

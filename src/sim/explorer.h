@@ -49,6 +49,15 @@ struct ExploreOptions {
   // faults.crash_at_wal_append >= 0.
   bool enable_wal = false;
 
+  // Adds a task that drives GarbageCollector::RunOnce between schedule
+  // points while writers run, so prune-in-place, array republish, slab
+  // retirement, and epoch advance interleave with installs and
+  // latch-free reads inside the explored schedule space (all of them
+  // feed the schedule hash through their SimObserve points). Without
+  // it reclamation only happens implicitly, at retire-threshold
+  // crossings.
+  bool gc_task = false;
+
   DeadlockPolicy deadlock_policy = DeadlockPolicy::kWaitDie;
   FaultPlan faults;
   uint64_t max_steps = 2'000'000;

@@ -8,11 +8,13 @@
 #include <mutex>
 #include <vector>
 
+#include "common/counters.h"
 #include "common/epoch.h"
 #include "common/ids.h"
 #include "common/latch.h"
 #include "common/result.h"
 #include "storage/key_index.h"
+#include "storage/version_arena.h"
 #include "storage/version_chain.h"
 
 namespace mvcc {
@@ -51,10 +53,15 @@ class ObjectStore {
   VersionChain* GetOrCreate(ObjectKey key);
 
   // Total committed versions retained across all chains (GC accounting).
-  // One relaxed load per shard: chains debit/credit their shard's
-  // counter inside Install/Remove/Prune, so nothing walks the chains.
-  // Debug builds cross-check against the full scan (callers must be
-  // quiescent there, as the two snapshots race under concurrency).
+  // One relaxed striped sum: chains debit/credit the store's counter
+  // inside Install/Remove/Prune, so nothing walks the chains. Under
+  // concurrent mutation the sum is approximate by design — each stripe
+  // is read at a different instant, so in-flight deltas (an installer
+  // between its counter bump and its publish, a Remove racing a table
+  // grow) make it transiently disagree with TotalVersionsSlow. Callers
+  // needing exact agreement must quiesce first; this method never
+  // cross-checks on its own (the old debug assert here fired on exactly
+  // those benign races).
   size_t TotalVersions() const;
 
   // The O(keys) scan TotalVersions used to be; kept for the debug
@@ -63,6 +70,10 @@ class ObjectStore {
 
   // Number of distinct keys.
   size_t NumKeys() const;
+
+  // Aggregated slab-arena statistics across all shards (bench and GC
+  // reporting: allocation rate, slab recycling, EBR retire batching).
+  VersionArena::Stats ArenaStats() const;
 
   // Applies Prune(watermark) to every chain; returns versions discarded.
   size_t PruneAll(VersionNumber watermark);
@@ -117,13 +128,19 @@ class ObjectStore {
     mutable SpinLatch latch;             // insert slow path only
     std::atomic<Table*> table{nullptr};  // published index generation
     std::atomic<size_t> num_keys{0};
-    // Net committed versions across this shard's chains, maintained by
-    // the chains themselves (relaxed; see TotalVersions).
-    std::atomic<int64_t> num_versions{0};
+    // Slab arena feeding this shard's chains (arrays and payloads).
+    // Per-shard so allocation contends no wider than the shard's own
+    // writers do; closed (not deleted — EBR may still hold its slabs)
+    // after the chains release their storage in ~ObjectStore.
+    VersionArena* arena = nullptr;
   };
 
+  // Shard count is rounded up to a power of two at construction so the
+  // per-operation shard pick is a mask, not a 64-bit division — the
+  // divide was measurable on the latch-free read path, where the fixed
+  // costs are a handful of nanoseconds total.
   Shard& ShardFor(ObjectKey key) const {
-    return shards_[key % shards_.size()];
+    return shards_[key & shard_mask_];
   }
 
   static uint64_t HashKey(ObjectKey key);
@@ -137,6 +154,11 @@ class ObjectStore {
   static constexpr size_t kInitialTableCapacity = 16;
 
   mutable std::vector<Shard> shards_;
+  size_t shard_mask_;
+  // Net committed versions across every chain, striped by thread (not by
+  // shard: with more threads than shards the per-shard cells themselves
+  // ping-ponged between writers hammering the same hot shard).
+  StripedCounter versions_;
   KeyIndex index_;
 };
 

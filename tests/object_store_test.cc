@@ -1,5 +1,10 @@
 #include "storage/object_store.h"
 
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace mvcc {
@@ -55,6 +60,63 @@ TEST(ObjectStoreTest, ShardCountOfZeroIsClampedToOne) {
   ObjectStore store(0);
   store.Preload(5, "x");
   EXPECT_EQ(store.NumKeys(), 5u);
+}
+
+// Regression test: TotalVersions is a relaxed striped sum that may be
+// read WHILE chains mutate. It used to cross-check against the O(keys)
+// scan with an assert, which fired on benign in-flight deltas (an
+// installer between its counter credit and its publish, a Remove racing
+// a shard's table growth). The contract now: concurrent calls return a
+// value that never strays further from ground truth than the number of
+// in-flight operations, and exact agreement holds at quiescence.
+TEST(ObjectStoreTest, TotalVersionsToleratesInFlightMutation) {
+  ObjectStore store(4);
+  constexpr uint64_t kKeys = 64;
+  store.Preload(kKeys, "0");
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> violations{0};
+  constexpr int kWriterThreads = 2;
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriterThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (uint64_t i = 1; i <= 4000; ++i) {
+        VersionChain* chain = store.GetOrCreate((i * 7 + t) % kKeys);
+        const VersionNumber n = i * 4 + t + 1;
+        chain->Install(Version{n, "v" + std::to_string(n), 1});
+        if (i % 8 == 0) chain->Prune(n - 8);
+        if (i % 32 == 0) {
+          chain->Install(Version{n + (uint64_t{1} << 50), "doomed", 1});
+          chain->Remove(n + (uint64_t{1} << 50));
+        }
+        // New keys too, so Find-side table growth races the counter.
+        if (i % 64 == 0) store.GetOrCreate(kKeys + i * 2 + t);
+      }
+      stop.store(true, std::memory_order_release);
+    });
+  }
+
+  // The regression: this loop crashed the old debug build (assert on
+  // TotalVersionsSlow disagreement) and must now just observe sane,
+  // bounded-skew values.
+  std::thread observer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const size_t total = store.TotalVersions();
+      // Never negative (clamped), never wildly past the maximum the
+      // writers could have installed.
+      if (total > kKeys + 2 * 4000 * kWriterThreads) {
+        violations.fetch_add(1);
+      }
+    }
+  });
+
+  for (auto& w : writers) w.join();
+  observer.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  // Quiescent: the striped sum agrees with the ground-truth scan.
+  EXPECT_EQ(store.TotalVersions(), store.TotalVersionsSlow());
 }
 
 }  // namespace
